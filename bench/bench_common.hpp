@@ -1,0 +1,109 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper's §3 and
+// prints the same rows/series. `CNI_BENCH_FAST=1` (or --fast) shrinks the
+// sweep for smoke runs; the default matches paper scale.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "util/table.hpp"
+
+namespace cni::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("CNI_BENCH_FAST");
+  return env != nullptr && env[0] != '0';
+}
+
+/// Processor counts along the paper's x-axis (figures run 1..32).
+inline std::vector<std::uint32_t> processor_sweep() {
+  if (fast_mode()) return {1, 2, 4, 8};
+  return {1, 2, 4, 8, 16, 24, 32};
+}
+
+/// One (CNI, standard) pair of runs at a processor count.
+struct SpeedupPoint {
+  std::uint32_t procs = 0;
+  apps::RunResult cni;
+  apps::RunResult standard;
+};
+
+/// Prints the paper's speedup-figure series: CNI-speedup, Standard-speedup
+/// and the CNI network cache hit ratio, with T(1) of each configuration as
+/// its own baseline.
+inline void print_speedup_series(const std::string& title,
+                                 const std::vector<SpeedupPoint>& points) {
+  util::Table t(title);
+  t.set_header({"procs", "CNI-speedup", "Standard-speedup", "NetCacheHitRatio(%)"});
+  const double cni1 = static_cast<double>(points.front().cni.elapsed);
+  const double std1 = static_cast<double>(points.front().standard.elapsed);
+  for (const SpeedupPoint& pt : points) {
+    t.add_row(std::to_string(pt.procs),
+              {cni1 / static_cast<double>(pt.cni.elapsed),
+               std1 / static_cast<double>(pt.standard.elapsed),
+               pt.cni.hit_ratio_pct},
+              2);
+  }
+  t.print();
+}
+
+/// Runs one app config over the processor sweep on both board kinds.
+template <typename Config, typename RunFn>
+std::vector<SpeedupPoint> speedup_sweep(RunFn run, const Config& cfg,
+                                        std::uint64_t page_size = 4096) {
+  std::vector<SpeedupPoint> out;
+  for (std::uint32_t p : processor_sweep()) {
+    SpeedupPoint pt;
+    pt.procs = p;
+    pt.cni = run(apps::make_params(cluster::BoardKind::kCni, p, page_size), cfg, nullptr);
+    pt.standard =
+        run(apps::make_params(cluster::BoardKind::kStandard, p, page_size), cfg, nullptr);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+/// Page-size sensitivity at a fixed processor count: speedup(p) against the
+/// same-page-size single-processor run, per configuration (Figures 5/9/12).
+template <typename Config, typename RunFn>
+void print_pagesize_series(const std::string& title, RunFn run, const Config& cfg,
+                           std::uint32_t procs,
+                           const std::vector<std::uint64_t>& page_sizes) {
+  util::Table t(title);
+  t.set_header({"page bytes", "CNI speedup", "Standard speedup", "HitRatio(%)"});
+  for (std::uint64_t ps : page_sizes) {
+    const auto cni1 = run(apps::make_params(cluster::BoardKind::kCni, 1, ps), cfg, nullptr);
+    const auto cnip =
+        run(apps::make_params(cluster::BoardKind::kCni, procs, ps), cfg, nullptr);
+    const auto std1 =
+        run(apps::make_params(cluster::BoardKind::kStandard, 1, ps), cfg, nullptr);
+    const auto stdp =
+        run(apps::make_params(cluster::BoardKind::kStandard, procs, ps), cfg, nullptr);
+    t.add_row(std::to_string(ps),
+              {static_cast<double>(cni1.elapsed) / static_cast<double>(cnip.elapsed),
+               static_cast<double>(std1.elapsed) / static_cast<double>(stdp.elapsed),
+               cnip.hit_ratio_pct},
+              2);
+  }
+  t.print();
+}
+
+/// Prints a Tables 2-4 style overhead breakdown (units: 1e9 CPU cycles,
+/// per-processor averages; Total = sum of the categories, as in the paper).
+inline void print_overhead_table(const std::string& title, const apps::RunResult& cni,
+                                 const apps::RunResult& standard) {
+  util::Table t(title);
+  t.set_header({"Category", "Time-CNI (10^9 cycles)", "Time-standard (10^9 cycles)"});
+  t.add_row("Synch overhead", {cni.overhead_e9, standard.overhead_e9}, 4);
+  t.add_row("Synch delay", {cni.delay_e9, standard.delay_e9}, 4);
+  t.add_row("Computation", {cni.compute_e9, standard.compute_e9}, 4);
+  t.add_row("Total", {cni.total_sum_e9(), standard.total_sum_e9()}, 4);
+  t.print();
+}
+
+}  // namespace cni::bench

@@ -1,0 +1,11 @@
+// Figure 6: Water speedup and network cache hit ratio, 64 molecules.
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::WaterConfig cfg{64, 2};
+  const auto pts = bench::speedup_sweep(apps::run_water, cfg);
+  bench::print_speedup_series("Figure 6: Water 64 molecules speedup / hit ratio", pts);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7: Water speedup and network cache hit ratio, 216 molecules.
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::WaterConfig cfg{216, 2};
+  const auto pts = bench::speedup_sweep(apps::run_water, cfg);
+  bench::print_speedup_series("Figure 7: Water 216 molecules speedup / hit ratio", pts);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 8: Water speedup and network cache hit ratio, 343 molecules.
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::WaterConfig cfg{343, 2};
+  const auto pts = bench::speedup_sweep(apps::run_water, cfg);
+  bench::print_speedup_series("Figure 8: Water 343 molecules speedup / hit ratio", pts);
+  return 0;
+}

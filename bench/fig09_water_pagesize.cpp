@@ -1,0 +1,14 @@
+// Figure 9: page-size sensitivity, 8-processor Water, 216 molecules.
+//
+// Paper: "The CNI is also less sensitive to page size... even though there
+// is some false sharing with larger page sizes" (x: 2..8 KB).
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::WaterConfig cfg{216, 2};
+  bench::print_pagesize_series("Figure 9: Water page-size sensitivity (p=8)",
+                               apps::run_water, cfg, 8, {2048, 4096, 8192});
+  return 0;
+}

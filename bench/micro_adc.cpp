@@ -1,0 +1,42 @@
+// Ablation: Application Device Channel descriptor-ring operations — the
+// user-level send path the CNI substitutes for a kernel trap.
+#include <benchmark/benchmark.h>
+
+#include "core/adc.hpp"
+
+namespace {
+
+using namespace cni::core;
+
+void BM_RingPushPop(benchmark::State& state) {
+  DescriptorRing ring(256);
+  const AdcDescriptor d{0x10000, 4096, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.push(d));
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_EnqueueWithProtectionCheck(benchmark::State& state) {
+  DualPortMemory mem(1 << 20);
+  auto ch = AdcChannel::open(mem, 1, 0x10000, 1 << 20, 256);
+  const AdcDescriptor d{0x14000, 4096, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch->enqueue_tx(d));
+    benchmark::DoNotOptimize(ch->dequeue_tx());
+  }
+}
+BENCHMARK(BM_EnqueueWithProtectionCheck);
+
+void BM_ProtectionReject(benchmark::State& state) {
+  DualPortMemory mem(1 << 20);
+  auto ch = AdcChannel::open(mem, 1, 0x10000, 0x1000, 256);
+  const AdcDescriptor outside{0x90000, 4096, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch->enqueue_tx(outside));
+  }
+}
+BENCHMARK(BM_ProtectionReject);
+
+}  // namespace

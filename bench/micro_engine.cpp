@@ -1,0 +1,71 @@
+// Ablation: simulation-engine throughput — event dispatch rate and fiber
+// context-switch rate, the two costs that bound how big a cluster run the
+// harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using namespace cni::sim;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(static_cast<SimTime>(i), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_SelfSchedulingEvent(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    const int n = static_cast<int>(state.range(0));
+    int remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) e.schedule_after(1, tick);
+    };
+    e.schedule_at(0, tick);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfSchedulingEvent)->Arg(100000);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    const int n = static_cast<int>(state.range(0));
+    SimThread t(e, "t", [n](SimThread& self) {
+      for (int i = 0; i < n; ++i) self.delay(1);
+    });
+    e.run();
+  }
+  // Each delay is two context switches (out and back in).
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_FiberSwitch)->Arg(100000);
+
+void BM_ThirtyTwoFibersRoundRobin(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    std::vector<std::unique_ptr<SimThread>> ts;
+    for (int i = 0; i < 32; ++i) {
+      ts.push_back(std::make_unique<SimThread>(e, "t", [](SimThread& self) {
+        for (int k = 0; k < 1000; ++k) self.delay(10);
+      }));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 1000);
+}
+BENCHMARK(BM_ThirtyTwoFibersRoundRobin);
+
+}  // namespace

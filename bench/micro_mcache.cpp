@@ -1,0 +1,61 @@
+// Ablation: Message Cache operation costs (buffer-map probe, bind, snoop).
+#include <benchmark/benchmark.h>
+
+#include "core/message_cache.hpp"
+
+namespace {
+
+using namespace cni::core;
+constexpr std::uint64_t kPage = 4096;
+
+void BM_LookupHit(benchmark::State& state) {
+  MessageCache mc(cni::mem::PageGeometry(kPage),
+                  static_cast<std::uint64_t>(state.range(0)) * 1024);
+  for (std::uint64_t i = 0; i < mc.buffer_count(); ++i) mc.insert(i * kPage, kPage);
+  std::uint64_t va = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.lookup_tx(va, kPage));
+    va = (va + kPage) % (mc.buffer_count() * kPage);
+  }
+}
+BENCHMARK(BM_LookupHit)->Arg(32)->Arg(512)->Arg(1024);
+
+void BM_LookupMiss(benchmark::State& state) {
+  MessageCache mc(cni::mem::PageGeometry(kPage), 32 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.lookup_tx(0x4000'0000, kPage));
+  }
+}
+BENCHMARK(BM_LookupMiss);
+
+void BM_InsertWithEviction(benchmark::State& state) {
+  MessageCache mc(cni::mem::PageGeometry(kPage), 32 * 1024);
+  std::uint64_t va = 0;
+  for (auto _ : state) {
+    mc.insert(va, kPage);
+    va += kPage;  // always a fresh page: every insert past 8 evicts
+  }
+  state.counters["evictions"] = static_cast<double>(mc.evictions());
+}
+BENCHMARK(BM_InsertWithEviction);
+
+void BM_SnoopBound(benchmark::State& state) {
+  MessageCache mc(cni::mem::PageGeometry(kPage), 512 * 1024);
+  for (std::uint64_t i = 0; i < mc.buffer_count(); ++i) mc.insert(i * kPage, kPage);
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.snoop_write(line, 32));
+    line = (line + 32) % (mc.buffer_count() * kPage);
+  }
+}
+BENCHMARK(BM_SnoopBound);
+
+void BM_SnoopUnbound(benchmark::State& state) {
+  MessageCache mc(cni::mem::PageGeometry(kPage), 32 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.snoop_write(0x7000'0000, 32));
+  }
+}
+BENCHMARK(BM_SnoopUnbound);
+
+}  // namespace

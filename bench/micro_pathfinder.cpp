@@ -1,0 +1,62 @@
+// Ablation: PATHFINDER classification cost (host-side wall time of the
+// model, plus the modelled comparison counts that drive simulated time).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "core/pathfinder.hpp"
+
+namespace {
+
+using namespace cni::core;
+
+std::vector<std::byte> header_of(std::uint16_t type) {
+  std::vector<std::byte> h(24, std::byte{0});
+  std::memcpy(h.data(), &type, 2);
+  return h;
+}
+
+Pattern type_pattern(std::uint16_t type) {
+  Pattern p;
+  p.comparisons.push_back(Comparison{0, 0xFFFF, type});
+  p.target = type;
+  return p;
+}
+
+void BM_ClassifyFirstMatch(benchmark::State& state) {
+  Pathfinder pf;
+  const auto n = static_cast<std::uint16_t>(state.range(0));
+  for (std::uint16_t i = 0; i < n; ++i) pf.add_pattern(type_pattern(0x200 + i));
+  const auto h = header_of(0x200);
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.classify(h, FlowKey{0, 1, seq++}, 1));
+  }
+}
+BENCHMARK(BM_ClassifyFirstMatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ClassifyLastMatch(benchmark::State& state) {
+  Pathfinder pf;
+  const auto n = static_cast<std::uint16_t>(state.range(0));
+  for (std::uint16_t i = 0; i < n; ++i) pf.add_pattern(type_pattern(0x200 + i));
+  const auto h = header_of(0x200 + n - 1);
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.classify(h, FlowKey{0, 1, seq++}, 1));
+  }
+}
+BENCHMARK(BM_ClassifyLastMatch)->Arg(8)->Arg(32);
+
+void BM_ClassifyFragmentedPage(benchmark::State& state) {
+  Pathfinder pf;
+  for (std::uint16_t i = 0; i < 10; ++i) pf.add_pattern(type_pattern(0x200 + i));
+  const auto h = header_of(0x205);
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    // An 86-cell 4 KB page: one full match plus dynamic-pattern fragments.
+    benchmark::DoNotOptimize(pf.classify(h, FlowKey{0, 1, seq++}, 86));
+  }
+}
+BENCHMARK(BM_ClassifyFragmentedPage);
+
+}  // namespace

@@ -1,0 +1,8 @@
+// Table 1: the simulation parameters in force (defaults of this build).
+#include "cluster/params.hpp"
+
+int main() {
+  cni::cluster::SimParams params;
+  params.to_table().print();
+  return 0;
+}

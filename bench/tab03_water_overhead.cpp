@@ -1,0 +1,17 @@
+// Table 3: overhead breakdown for 8-processor Water, 216 molecules.
+//
+// Paper: CNI 0.17/2.24/2.95 vs standard 0.30/2.45/2.95 (10^9 cycles).
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::WaterConfig cfg{216, 2};
+  const auto cni =
+      apps::run_water(apps::make_params(cluster::BoardKind::kCni, 8), cfg, nullptr);
+  const auto std_ =
+      apps::run_water(apps::make_params(cluster::BoardKind::kStandard, 8), cfg, nullptr);
+  bench::print_overhead_table("Table 3: overhead, 8-processor Water 216 molecules",
+                              cni, std_);
+  return 0;
+}

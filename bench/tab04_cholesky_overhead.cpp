@@ -1,0 +1,19 @@
+// Table 4: overhead breakdown for 8-processor Cholesky, matrix bcsstk14.
+//
+// Paper: CNI 3.39/61.8/21.5 vs standard 3.35/65.1/21.5 (10^9 cycles) —
+// delay dominates (fine-grained synchronization), CNI reduces it.
+#include "apps/cholesky.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cni;
+  apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();
+  if (cni::bench::fast_mode()) cfg = apps::CholeskyConfig{256, 16, 2, 3, 1024, 2000};
+  const auto cni =
+      apps::run_cholesky(apps::make_params(cluster::BoardKind::kCni, 8), cfg, nullptr);
+  const auto std_ = apps::run_cholesky(
+      apps::make_params(cluster::BoardKind::kStandard, 8), cfg, nullptr);
+  bench::print_overhead_table("Table 4: overhead, 8-processor Cholesky bcsstk14",
+                              cni, std_);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Programming the cluster through the DSM API: a small heat-diffusion
+// stencil written exactly like the paper's benchmark applications — shared
+// arrays, barriers, block ownership — and run on both board types.
+#include <cstdio>
+
+#include "apps/runner.hpp"
+#include "dsm/context.hpp"
+#include "dsm/system.hpp"
+
+using namespace cni;
+
+namespace {
+
+double run_stencil(cluster::BoardKind kind, std::uint32_t nodes, sim::SimTime* elapsed) {
+  const std::uint32_t n = 64;
+  const int steps = 10;
+  cluster::Cluster cl(apps::make_params(kind, nodes));
+  dsm::DsmSystem dsmsys(cl);
+  const mem::VAddr cur = dsmsys.alloc_blocked(n * 8, "cur");
+  const mem::VAddr nxt = dsmsys.alloc_blocked(n * 8, "nxt");
+  const mem::VAddr out = dsmsys.alloc_at(8, "out", 0);
+
+  *elapsed = cl.run([&](std::size_t id, sim::SimThread& t) {
+    dsm::DsmContext ctx(dsmsys, id, t);
+    const std::uint32_t me = ctx.self();
+    const std::uint32_t lo = me * n / nodes;
+    const std::uint32_t hi = (me + 1) * n / nodes;
+
+    // Each node initializes the cells it owns.
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      ctx.write<double>(cur + i * 8, i == 0 ? 100.0 : 0.0);
+      ctx.write<double>(nxt + i * 8, 0.0);
+    }
+    ctx.barrier();
+
+    for (int s = 0; s < steps; ++s) {
+      for (std::uint32_t i = std::max(lo, 1u); i < std::min(hi, n - 1); ++i) {
+        const double v = 0.5 * ctx.read<double>(cur + i * 8) +
+                         0.25 * (ctx.read<double>(cur + (i - 1) * 8) +
+                                 ctx.read<double>(cur + (i + 1) * 8));
+        ctx.write<double>(nxt + i * 8, v);
+        ctx.compute(12);
+      }
+      ctx.barrier();
+      for (std::uint32_t i = std::max(lo, 1u); i < std::min(hi, n - 1); ++i) {
+        ctx.write<double>(cur + i * 8, ctx.read<double>(nxt + i * 8));
+      }
+      ctx.barrier();
+    }
+
+    if (me == 0) {
+      double heat = 0;
+      for (std::uint32_t i = 0; i < n; ++i) heat += ctx.read<double>(cur + i * 8);
+      ctx.write<double>(out, heat);
+    }
+    ctx.barrier();
+  });
+
+  // Read the published result through node 0's runtime (post-run).
+  double heat;
+  std::memcpy(&heat, dsmsys.runtime(0).access(out, 8, false), 8);
+  return heat;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1-D heat stencil on 4 DSM nodes (barrier-synchronized strips)\n\n");
+  for (auto [kind, name] : {std::pair{cluster::BoardKind::kCni, "CNI"},
+                            std::pair{cluster::BoardKind::kStandard, "standard"}}) {
+    sim::SimTime elapsed = 0;
+    const double heat = run_stencil(kind, 4, &elapsed);
+    std::printf("%-8s  total heat %.6f   simulated time %.1f us\n", name, heat,
+                sim::to_micros(elapsed));
+  }
+  std::printf("\nboth interfaces compute the identical answer; the CNI just gets\n"
+              "there sooner — which is the whole paper in one sentence.\n");
+  return 0;
+}

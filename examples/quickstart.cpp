@@ -1,0 +1,72 @@
+// Quickstart: build a two-workstation CNI cluster and exchange a message
+// through the Application Device Channel path.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the public API end to end: SimParams -> Cluster -> bind an app
+// channel -> send/receive from simulated node programs -> read the stats.
+#include <cstdio>
+
+#include "apps/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "nic/wire.hpp"
+#include "sim/channel.hpp"
+
+using namespace cni;
+
+namespace {
+constexpr nic::MsgType kHello = nic::kTypeAppBase + 1;
+}
+
+int main() {
+  // 1. Table-1 parameters: 166 MHz hosts, 622 Mb/s ATM, 32 KB Message Cache.
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 2);
+  cluster::Cluster cl(params);
+
+  // 2. Node 1 binds an ADC receive channel for our message type. On the CNI
+  //    the PATHFINDER routes matching packets straight to it.
+  sim::SimChannel<atm::Frame> inbox;
+  cl.node(1).board().bind_channel(kHello, &inbox);
+
+  const mem::VAddr buffer = mem::kSharedBase;  // the sender's 4 KB source buffer
+
+  // 3. Run one program per node, in simulated time.
+  const sim::SimTime elapsed = cl.run([&](std::size_t node, sim::SimThread& t) {
+    if (node == 0) {
+      for (int i = 0; i < 3; ++i) {
+        nic::MsgHeader h;
+        h.type = kHello;
+        h.flags = nic::kFlagCacheable;  // ask the Message Cache to keep the buffer
+        h.src_node = 0;
+        h.seq = cl.node(0).board().next_seq();
+        atm::Frame frame = atm::Frame::make(0, 1, /*vci=*/1, h,
+                                            std::vector<std::byte>(4096));
+        nic::NicBoard::SendOptions opts;
+        opts.source_va = buffer;
+        opts.source_len = 4096;
+        opts.cacheable = true;
+        const sim::SimTime before = t.engine().now();
+        cl.node(0).board().send_from_host(t, std::move(frame), opts);
+        std::printf("[node 0] send %d enqueued at t=%.2f us (host busy %.2f us)\n", i,
+                    sim::to_micros(before), sim::to_micros(t.engine().now() - before));
+        t.delay(sim::kMillisecond);
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        atm::Frame f = cl.node(1).board().receive_app(t, inbox);
+        std::printf("[node 1] got %zu bytes at t=%.2f us\n", f.payload.size(),
+                    sim::to_micros(t.engine().now()));
+      }
+    }
+  });
+
+  // 4. The Message Cache served sends 2 and 3 without re-DMAing the buffer.
+  const sim::NodeStats& s = cl.stats().node(0);
+  std::printf("\nsimulated time: %.2f us\n", sim::to_micros(elapsed));
+  std::printf("transmit lookups: %llu, hits: %llu (ratio %.1f%%)\n",
+              static_cast<unsigned long long>(s.mcache_tx_lookups),
+              static_cast<unsigned long long>(s.mcache_tx_hits), s.tx_hit_ratio_pct());
+  std::printf("DMA transfers on node 0: %llu (first send only)\n",
+              static_cast<unsigned long long>(s.dma_transfers));
+  return 0;
+}

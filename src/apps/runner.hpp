@@ -1,0 +1,74 @@
+// Application run harness.
+//
+// Builds a cluster + DSM system for a parameter set, runs one node body per
+// processor, and extracts the metrics the paper's figures and tables report:
+// elapsed time, per-category cycle breakdown (computation / synch overhead /
+// synch delay) and the network cache hit ratio.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "dsm/context.hpp"
+#include "dsm/system.hpp"
+
+namespace cni::apps {
+
+struct RunResult {
+  sim::SimTime elapsed = 0;
+  std::uint64_t elapsed_cycles = 0;  ///< host CPU cycles (166 MHz)
+  sim::NodeStats totals;             ///< summed over nodes
+  double hit_ratio_pct = 0;          ///< network cache hit ratio (paper's term)
+
+  // Per-processor averages in units of 1e9 cycles (the paper's Tables 2-4).
+  double compute_e9 = 0;
+  double overhead_e9 = 0;
+  double delay_e9 = 0;
+  [[nodiscard]] double total_sum_e9() const { return compute_e9 + overhead_e9 + delay_e9; }
+};
+
+/// Paper Table 1 defaults for one board kind.
+[[nodiscard]] inline cluster::SimParams make_params(cluster::BoardKind board,
+                                                    std::uint32_t processors,
+                                                    std::uint64_t page_size = 4096,
+                                                    std::uint64_t mcache_bytes = 32 * 1024) {
+  cluster::SimParams p;
+  p.board = board;
+  p.processors = processors;
+  p.page_size = page_size;
+  p.cni.message_cache_bytes = mcache_bytes;
+  // Board memory must hold the Message Cache + ADC queues + AIH segments;
+  // grow it past the OSIRIS 1 MB only when a sweep (Figure 13) asks for a
+  // Message Cache that large.
+  const std::uint64_t needed = mcache_bytes + 512 * 1024;
+  if (needed > p.nic.dual_port_mem_bytes) p.nic.dual_port_mem_bytes = needed;
+  return p;
+}
+
+/// Runs `body` on every node of a fresh cluster. `setup` allocates the
+/// shared regions and returns the app's shared-address bundle.
+template <typename Shared>
+RunResult run_app(const cluster::SimParams& params,
+                  const std::function<Shared(dsm::DsmSystem&)>& setup,
+                  const std::function<void(dsm::DsmContext&, const Shared&)>& body,
+                  dsm::DsmParams dsm_params = {}) {
+  cluster::Cluster cl(params);
+  dsm::DsmSystem dsmsys(cl, dsm_params);
+  const Shared shared = setup(dsmsys);
+
+  RunResult r;
+  r.elapsed = cl.run([&](std::size_t i, sim::SimThread& t) {
+    dsm::DsmContext ctx(dsmsys, i, t);
+    body(ctx, shared);
+  });
+  r.elapsed_cycles = cl.elapsed_cpu_cycles();
+  r.totals = cl.stats().total();
+  r.hit_ratio_pct = r.totals.tx_hit_ratio_pct();
+  const double p = static_cast<double>(params.processors);
+  r.compute_e9 = static_cast<double>(r.totals.compute_cycles) / p / 1e9;
+  r.overhead_e9 = static_cast<double>(r.totals.synch_overhead_cycles) / p / 1e9;
+  r.delay_e9 = static_cast<double>(r.totals.synch_delay_cycles) / p / 1e9;
+  return r;
+}
+
+}  // namespace cni::apps

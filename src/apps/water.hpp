@@ -1,0 +1,48 @@
+// Water (SPLASH) — medium-grained benchmark (paper §3.1).
+//
+// "It simulates the molecular behavior of water... In each step, the various
+// intra- and inter-molecular forces affecting the molecule are calculated
+// with respect to other molecules and then the parameters of the molecule
+// are updated. The original algorithm was modified to postpone the updates
+// until the end of an iteration as in [3]. Synchronization is performed by
+// (1) acquiring a lock for updating the parameters of a molecule and (2)
+// through barriers."
+//
+// Our kernel keeps that sharing/synchronisation structure: block-owned
+// molecules, a half-shell O(N^2/2) pair phase accumulating into private
+// buffers, a postponed lock-per-molecule force update phase, and barriers
+// between phases. Input sizes 64 / 216 / 343 molecules, 2 steps, as run in
+// Figures 6-9 and Table 3.
+#pragma once
+
+#include "apps/runner.hpp"
+
+namespace cni::apps {
+
+struct WaterConfig {
+  std::uint32_t molecules = 64;
+  std::uint32_t steps = 2;
+  // ALU charges per operation, calibrated to SPLASH Water on a 166 MHz
+  // in-order CPU: INTERF evaluates nine site pairs per molecule pair, each
+  // with divides, square roots and cutoff logic — several thousand cycles
+  // with cache stalls; the predictor-corrector integration (PREDIC/CORREC
+  // over 7 derivatives x 9 coordinates) is a few thousand more.
+  std::uint32_t pair_cycles = 7000;
+  std::uint32_t integrate_cycles = 4000;
+
+  /// Doubles of storage per molecule per array. SPLASH Water's molecule
+  /// record carries full predictor-corrector state (~700 bytes); padding the
+  /// stride reproduces that memory footprint (and hence the Message Cache
+  /// working set and false-sharing behaviour) without simulating the extra
+  /// arithmetic.
+  std::uint32_t mol_stride_doubles = 32;
+};
+
+RunResult run_water(const cluster::SimParams& params, const WaterConfig& config,
+                    double* checksum = nullptr);
+
+/// Serial reference (identical pair set; force accumulation order differs
+/// from a parallel run, so compare with a small relative tolerance).
+double water_reference_checksum(const WaterConfig& config);
+
+}  // namespace cni::apps

@@ -1,0 +1,50 @@
+// ATM cell geometry.
+//
+// Standard ATM moves 53-byte cells with 48 payload bytes; every large
+// message pays segmentation-and-reassembly (SAR) and a 5-byte-per-cell
+// header tax. Table 5 of the paper isolates this cost with a "mythical"
+// ATM of unrestricted cell size — geometry mode `kUnrestricted` here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace cni::atm {
+
+inline constexpr std::uint64_t kCellPayloadBytes = 48;
+inline constexpr std::uint64_t kCellHeaderBytes = 5;
+inline constexpr std::uint64_t kCellBytes = kCellPayloadBytes + kCellHeaderBytes;
+
+enum class CellMode {
+  kStandard,      ///< 53-byte cells, 48-byte payload
+  kUnrestricted,  ///< whole frame in one cell (Table 5's mythical network)
+};
+
+class CellGeometry {
+ public:
+  explicit CellGeometry(CellMode mode = CellMode::kStandard) : mode_(mode) {}
+
+  [[nodiscard]] CellMode mode() const { return mode_; }
+
+  /// Number of cells carrying a `len`-byte frame. A zero-length frame still
+  /// takes one cell (the header must travel).
+  [[nodiscard]] std::uint64_t cells_for(std::uint64_t len) const {
+    if (len == 0) return 1;
+    if (mode_ == CellMode::kUnrestricted) return 1;
+    return util::ceil_div(len, kCellPayloadBytes);
+  }
+
+  /// Bytes actually serialized on the wire for a `len`-byte frame
+  /// (payload padded to whole cells, plus per-cell headers).
+  [[nodiscard]] std::uint64_t wire_bytes(std::uint64_t len) const {
+    if (mode_ == CellMode::kUnrestricted) return len + kCellHeaderBytes;
+    return cells_for(len) * kCellBytes;
+  }
+
+ private:
+  CellMode mode_;
+};
+
+}  // namespace cni::atm

@@ -1,0 +1,59 @@
+#include "atm/fabric.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::atm {
+
+Fabric::Fabric(sim::Engine& engine, const FabricParams& params)
+    : engine_(engine),
+      params_(params),
+      geometry_(params.cell_mode),
+      switch_(params.switch_ports, params.switch_latency),
+      uplinks_(params.switch_ports),
+      downlinks_(params.switch_ports),
+      hooks_(params.switch_ports) {}
+
+void Fabric::attach(NodeId node, DeliveryHook hook) {
+  CNI_CHECK(node < hooks_.size());
+  CNI_CHECK_MSG(hooks_[node] == nullptr, "node already attached to fabric");
+  hooks_[node] = std::move(hook);
+}
+
+DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
+  const NodeId src = frame.src;
+  const NodeId dst = frame.dst;
+  CNI_CHECK(src < hooks_.size() && dst < hooks_.size());
+  CNI_CHECK_MSG(hooks_[dst] != nullptr, "destination node not attached");
+
+  DeliveryTiming t;
+  t.cells = geometry_.cells_for(frame.size());
+  t.wire_bytes = geometry_.wire_bytes(frame.size());
+  const sim::SimDuration serialization =
+      sim::transmission_time(t.wire_bytes * 8, params_.link_bits_per_sec);
+
+  // Uplink: the frame's cells serialize back-to-back once the link frees up
+  // (ServiceQueue::occupy starts the job when the link drains).
+  const sim::SimTime up_done = uplinks_[src].occupy(ready, serialization);
+  const sim::SimTime up_start = up_done - serialization;
+  t.first_bit_out = up_start;
+
+  // Cut-through: the head of the burst enters the fabric after propagating
+  // to the switch; the tail follows `serialization` later.
+  const sim::SimTime head_at_switch = up_start + params_.propagation;
+  const sim::SimTime head_out = switch_.route(head_at_switch, src, dst, serialization);
+
+  // Downlink occupancy + propagation to the destination NIC. The last bit
+  // arrives when the burst finishes serializing down the link.
+  const sim::SimTime down_done = downlinks_[dst].occupy(head_out, serialization);
+  t.arrival = down_done + params_.propagation;
+
+  ++frames_;
+  cells_total_ += t.cells;
+
+  engine_.schedule_at(t.arrival, [this, dst, f = std::move(frame)]() mutable {
+    hooks_[dst](std::move(f));
+  });
+  return t;
+}
+
+}  // namespace cni::atm

@@ -1,0 +1,73 @@
+// The cluster interconnect: host links + banyan switch.
+//
+// Every node hangs off one port of a 32-port banyan ATM switch via a
+// 622 Mb/s (STS-12) full-duplex link. The fabric computes frame delivery
+// timing — uplink serialization (with the per-cell header tax), propagation,
+// fabric traversal with contention, downlink occupancy — and schedules the
+// delivery callback at the receiving NIC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "atm/banyan.hpp"
+#include "atm/cell.hpp"
+#include "atm/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace cni::atm {
+
+struct FabricParams {
+  std::uint64_t link_bits_per_sec = util::kSts12BitsPerSec;
+  sim::SimDuration switch_latency = 500 * sim::kNanosecond;  // Table 1
+  sim::SimDuration propagation = 150 * sim::kNanosecond;     // Table 1 ("network latency")
+  std::uint32_t switch_ports = 32;
+  CellMode cell_mode = CellMode::kStandard;
+};
+
+/// Timing of one frame's journey, returned to the sending NIC.
+struct DeliveryTiming {
+  sim::SimTime first_bit_out = 0;  ///< when serialization onto the uplink began
+  sim::SimTime arrival = 0;        ///< when the last bit reaches the dst NIC
+  std::uint64_t cells = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+class Fabric {
+ public:
+  /// Invoked (at the frame's arrival instant) to hand the frame to node
+  /// `frame.dst`'s NIC.
+  using DeliveryHook = std::function<void(Frame)>;
+
+  Fabric(sim::Engine& engine, const FabricParams& params);
+
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+  [[nodiscard]] const CellGeometry& cells() const { return geometry_; }
+  [[nodiscard]] std::uint32_t node_limit() const { return params_.switch_ports; }
+
+  /// Registers the receive hook for a node (its NIC's reassembly input).
+  void attach(NodeId node, DeliveryHook hook);
+
+  /// Sends `frame`, whose serialization onto the uplink may start at `ready`.
+  /// Schedules delivery at the destination and returns the timing.
+  DeliveryTiming send(sim::SimTime ready, Frame frame);
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
+  [[nodiscard]] std::uint64_t cells_sent() const { return cells_total_; }
+  [[nodiscard]] const BanyanSwitch& fabric_switch() const { return switch_; }
+
+ private:
+  sim::Engine& engine_;
+  FabricParams params_;
+  CellGeometry geometry_;
+  BanyanSwitch switch_;
+  std::vector<sim::ServiceQueue> uplinks_;
+  std::vector<sim::ServiceQueue> downlinks_;
+  std::vector<DeliveryHook> hooks_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t cells_total_ = 0;
+};
+
+}  // namespace cni::atm

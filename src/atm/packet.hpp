@@ -1,0 +1,59 @@
+// Network frames.
+//
+// A Frame is what one AAL5-style SAR unit reassembles at the receiver: a
+// contiguous byte payload whose first bytes form the demultiplexing header
+// the PATHFINDER classifies on. Frames carry real data (DSM pages, diffs,
+// application messages); timing is computed by the fabric and NIC models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cni::atm {
+
+using NodeId = std::uint32_t;
+
+struct Frame {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t vci = 0;  ///< virtual circuit id (coarse demux, per OSIRIS)
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::uint64_t size() const { return payload.size(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const { return payload; }
+
+  /// Reads a trivially-copyable header of type T from the payload front.
+  template <typename T>
+  [[nodiscard]] T header() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CNI_CHECK_MSG(payload.size() >= sizeof(T), "frame shorter than its header");
+    T t;
+    std::memcpy(&t, payload.data(), sizeof(T));
+    return t;
+  }
+
+  /// Builds a frame from a header plus body bytes.
+  template <typename T>
+  static Frame make(NodeId src, NodeId dst, std::uint32_t vci, const T& hdr,
+                    std::span<const std::byte> body = {}) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Frame f;
+    f.src = src;
+    f.dst = dst;
+    f.vci = vci;
+    f.payload.resize(sizeof(T) + body.size());
+    std::memcpy(f.payload.data(), &hdr, sizeof(T));
+    if (!body.empty()) {
+      std::memcpy(f.payload.data() + sizeof(T), body.data(), body.size());
+    }
+    return f;
+  }
+};
+
+}  // namespace cni::atm

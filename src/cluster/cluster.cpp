@@ -1,0 +1,88 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cni::cluster {
+
+Node::Node(sim::Engine& engine, atm::Fabric& fabric, const SimParams& params,
+           atm::NodeId id, sim::NodeStats& stats)
+    : id_(id),
+      bus_(engine, params.bus),
+      page_table_(mem::PageGeometry(params.page_size)),
+      cpu_(params.cpu_freq_hz, params.cache, bus_, page_table_, stats),
+      is_cni_(params.board == BoardKind::kCni) {
+  if (is_cni_) {
+    board_ = std::make_unique<core::CniBoard>(engine, fabric, cpu_, params.nic, id,
+                                              params.cni,
+                                              mem::PageGeometry(params.page_size));
+  } else {
+    board_ = std::make_unique<nic::StandardNic>(engine, fabric, cpu_, params.nic, id);
+  }
+}
+
+core::CniBoard& Node::cni() {
+  CNI_CHECK_MSG(is_cni_, "this node carries a standard NIC, not a CNI");
+  return static_cast<core::CniBoard&>(*board_);
+}
+
+Cluster::Cluster(const SimParams& params)
+    : params_(params),
+      engine_(),
+      fabric_(engine_, params.fabric),
+      stats_(params.processors) {
+  CNI_CHECK_MSG(params.processors >= 1, "a cluster needs at least one node");
+  CNI_CHECK_MSG(params.processors <= params.fabric.switch_ports,
+                "more nodes than switch ports");
+  for (std::uint32_t i = 0; i < params.processors; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(engine_, fabric_, params_, i, stats_.node(i)));
+  }
+}
+
+sim::SimTime Cluster::run(
+    const std::function<void(std::size_t, sim::SimThread&)>& body) {
+  std::vector<std::unique_ptr<sim::SimThread>> threads;
+  std::vector<sim::SimTime> finish(nodes_.size(), 0);
+  threads.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    threads.push_back(std::make_unique<sim::SimThread>(
+        engine_, "node" + std::to_string(i), [this, &body, &finish, i](sim::SimThread& t) {
+          body(i, t);
+          node(i).cpu().sync(t);  // settle any trailing local charge
+          finish[i] = engine_.now();
+        }));
+  }
+  engine_.run();
+
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (!threads[i]->finished()) {
+      throw std::runtime_error("cluster deadlock: node " + std::to_string(i) +
+                               " never finished (blocked waiting on an event "
+                               "that will not arrive)");
+    }
+  }
+
+  elapsed_ = 0;
+  for (const sim::SimTime f : finish) elapsed_ = f > elapsed_ ? f : elapsed_;
+
+  // Settle the delay accounts: whatever part of a node's elapsed time was
+  // neither computation nor charged overhead was spent stalled on remote
+  // events — the paper's "synch delay".
+  const sim::Clock cpu(params_.cpu_freq_hz);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    sim::NodeStats& st = stats_.node(i);
+    const std::uint64_t total = cpu.to_cycles(finish[i]);
+    const std::uint64_t busy = st.compute_cycles + st.synch_overhead_cycles;
+    st.synch_delay_cycles = total > busy ? total - busy : 0;
+  }
+  return elapsed_;
+}
+
+std::uint64_t Cluster::elapsed_cpu_cycles() const {
+  return sim::Clock(params_.cpu_freq_hz).to_cycles(elapsed_);
+}
+
+}  // namespace cni::cluster

@@ -1,0 +1,74 @@
+// Cluster assembly: N workstations on one ATM switch.
+//
+// Builds, per node: memory bus + page table + host CPU + a network board
+// (CNI or standard, per SimParams::board), all attached to a shared banyan
+// fabric; then runs one simulated thread per node and settles the
+// computation/overhead/delay accounts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "atm/fabric.hpp"
+#include "cluster/host.hpp"
+#include "cluster/params.hpp"
+#include "core/cni_board.hpp"
+#include "nic/standard_nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace cni::cluster {
+
+/// One workstation: bus, page table, CPU and network board.
+class Node {
+ public:
+  Node(sim::Engine& engine, atm::Fabric& fabric, const SimParams& params,
+       atm::NodeId id, sim::NodeStats& stats);
+
+  [[nodiscard]] atm::NodeId id() const { return id_; }
+  [[nodiscard]] HostCpu& cpu() { return cpu_; }
+  [[nodiscard]] nic::NicBoard& board() { return *board_; }
+
+  /// The board as a CniBoard; check-fails on a standard-NIC cluster.
+  [[nodiscard]] core::CniBoard& cni();
+
+ private:
+  atm::NodeId id_;
+  mem::MemoryBus bus_;
+  mem::PageTable page_table_;
+  HostCpu cpu_;
+  std::unique_ptr<nic::NicBoard> board_;
+  bool is_cni_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const SimParams& params);
+
+  [[nodiscard]] const SimParams& params() const { return params_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] atm::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+
+  /// Runs `body(node_index, thread)` on every node concurrently (in
+  /// simulated time) and returns the simulated duration of the whole run.
+  /// Afterwards each node's synch_delay account holds the residual
+  /// elapsed - compute - overhead. Throws on deadlock.
+  sim::SimTime run(const std::function<void(std::size_t, sim::SimThread&)>& body);
+
+  /// Elapsed time of the last run, in host CPU cycles.
+  [[nodiscard]] std::uint64_t elapsed_cpu_cycles() const;
+
+ private:
+  SimParams params_;
+  sim::Engine engine_;
+  atm::Fabric fabric_;
+  sim::StatsRegistry stats_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::SimTime elapsed_ = 0;
+};
+
+}  // namespace cni::cluster

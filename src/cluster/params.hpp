@@ -1,0 +1,36 @@
+// Whole-machine simulation parameters (paper Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "atm/fabric.hpp"
+#include "core/cni_board.hpp"
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "nic/board.hpp"
+#include "util/table.hpp"
+
+namespace cni::cluster {
+
+enum class BoardKind {
+  kCni,       ///< the paper's contribution
+  kStandard,  ///< baseline: no ADC, no Message Cache, no AIH
+};
+
+struct SimParams {
+  std::uint64_t cpu_freq_hz = 166'000'000;  ///< Table 1: 166 MHz Alpha
+  std::uint64_t page_size = 4096;           ///< host + DSM + Message Cache buffer page
+  std::uint32_t processors = 8;
+  BoardKind board = BoardKind::kCni;
+
+  mem::CacheParams cache;     ///< 32 KB L1 / 1 MB L2, direct-mapped write-back
+  mem::BusParams bus;         ///< 25 MHz, 4-cycle acquisition, 2 cycles/word
+  nic::NicParams nic;         ///< 33 MHz NIC, SAR/interrupt/kernel costs
+  atm::FabricParams fabric;   ///< 622 Mb/s links, 500 ns banyan switch
+  core::CniConfig cni;        ///< 32 KB Message Cache etc.
+
+  /// Renders the Table 1 parameter dump.
+  [[nodiscard]] util::Table to_table() const;
+};
+
+}  // namespace cni::cluster

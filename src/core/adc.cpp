@@ -1,0 +1,61 @@
+#include "core/adc.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::core {
+
+DescriptorRing::DescriptorRing(std::uint32_t slots) : ring_(slots), slots_(slots) {
+  CNI_CHECK(slots > 0);
+}
+
+bool DescriptorRing::push(const AdcDescriptor& d) {
+  if (full()) return false;
+  ring_[head_ % slots_] = d;
+  ++head_;
+  return true;
+}
+
+std::optional<AdcDescriptor> DescriptorRing::pop() {
+  if (empty()) return std::nullopt;
+  AdcDescriptor d = ring_[tail_ % slots_];
+  ++tail_;
+  return d;
+}
+
+std::optional<AdcChannel> AdcChannel::open(DualPortMemory& board_mem,
+                                           std::uint32_t channel_id,
+                                           mem::VAddr region_base, std::uint64_t region_len,
+                                           std::uint32_t slots) {
+  const std::uint64_t bytes = 3 * DescriptorRing::footprint_bytes(slots);
+  auto offset = board_mem.alloc(bytes, "adc-channel");
+  if (!offset.has_value()) return std::nullopt;
+  return AdcChannel(channel_id, region_base, region_len, slots, *offset);
+}
+
+AdcChannel::AdcChannel(std::uint32_t id, mem::VAddr region_base, std::uint64_t region_len,
+                       std::uint32_t slots, std::uint64_t board_offset)
+    : id_(id),
+      region_base_(region_base),
+      region_len_(region_len),
+      board_offset_(board_offset),
+      tx_(slots),
+      rx_(slots),
+      free_(slots) {}
+
+bool AdcChannel::enqueue_tx(const AdcDescriptor& d) {
+  if (!verify(d.buffer_va, d.length)) {
+    ++protection_rejects_;
+    return false;
+  }
+  return tx_.push(d);
+}
+
+bool AdcChannel::post_receive_buffer(const AdcDescriptor& d) {
+  if (!verify(d.buffer_va, d.length)) {
+    ++protection_rejects_;
+    return false;
+  }
+  return free_.push(d);
+}
+
+}  // namespace cni::core

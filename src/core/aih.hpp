@@ -1,0 +1,68 @@
+// Application Interrupt Handler memory (paper §2.3).
+//
+// Protocol code is written in a pointer-safe language, compiled to
+// relocatable NIC object code, and swapped whole into a free segment of
+// board memory when the application opens its connection — there is
+// deliberately *no* virtual memory on the board (a page fault at network
+// arrival rates would be ruinous), so the entire handler must fit. The
+// PATHFINDER is then programmed to transfer control to the segment when a
+// matching packet arrives.
+//
+// In the simulation a handler's *behaviour* is a C++ callback; this class
+// accounts the board-memory residency and the swap-in transfer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/dual_port.hpp"
+#include "util/check.hpp"
+
+namespace cni::core {
+
+class AihRegion {
+ public:
+  struct Segment {
+    std::uint64_t board_offset = 0;
+    std::uint64_t code_bytes = 0;
+  };
+
+  explicit AihRegion(DualPortMemory& board_mem) : mem_(board_mem) {}
+
+  /// Swaps handler object code onto the board. Returns the segment, or
+  /// nullopt if board memory is exhausted (the caller decides whether that
+  /// is fatal; for the DSM protocol it is).
+  std::optional<Segment> install(std::uint32_t handler_id, std::uint64_t code_bytes) {
+    auto offset = mem_.alloc(code_bytes, "aih-segment");
+    if (!offset.has_value()) return std::nullopt;
+    Segment seg{*offset, code_bytes};
+    CNI_CHECK_MSG(segments_.emplace(handler_id, seg).second,
+                  "handler id already has a segment");
+    resident_bytes_ += code_bytes;
+    return seg;
+  }
+
+  /// Removes a handler's code from the board.
+  void remove(std::uint32_t handler_id) {
+    auto it = segments_.find(handler_id);
+    CNI_CHECK_MSG(it != segments_.end(), "removing an uninstalled handler");
+    mem_.free(it->second.board_offset);
+    resident_bytes_ -= it->second.code_bytes;
+    segments_.erase(it);
+  }
+
+  [[nodiscard]] bool resident(std::uint32_t handler_id) const {
+    return segments_.find(handler_id) != segments_.end();
+  }
+
+  [[nodiscard]] std::uint64_t resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+ private:
+  DualPortMemory& mem_;
+  std::unordered_map<std::uint32_t, Segment> segments_;
+  std::uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace cni::core

@@ -1,0 +1,66 @@
+#include "core/dual_port.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::core {
+
+DualPortMemory::DualPortMemory(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {
+  CNI_CHECK(capacity_bytes > 0);
+  blocks_.push_back(Block{0, capacity_bytes, false, ""});
+}
+
+std::optional<std::uint64_t> DualPortMemory::alloc(std::uint64_t bytes,
+                                                   const std::string& what) {
+  CNI_CHECK(bytes > 0);
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->allocated || it->bytes < bytes) continue;
+    const std::uint64_t offset = it->offset;
+    if (it->bytes > bytes) {
+      // Split: the tail remains free.
+      blocks_.insert(std::next(it), Block{offset + bytes, it->bytes - bytes, false, ""});
+      it->bytes = bytes;
+    }
+    it->allocated = true;
+    it->what = what;
+    used_ += bytes;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void DualPortMemory::free(std::uint64_t offset) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->offset == offset && it->allocated) {
+      it->allocated = false;
+      it->what.clear();
+      used_ -= it->bytes;
+      coalesce();
+      return;
+    }
+  }
+  CNI_CHECK_MSG(false, "freeing an offset that is not allocated");
+}
+
+void DualPortMemory::coalesce() {
+  auto it = blocks_.begin();
+  while (it != blocks_.end()) {
+    auto next = std::next(it);
+    if (next == blocks_.end()) break;
+    if (!it->allocated && !next->allocated) {
+      it->bytes += next->bytes;
+      blocks_.erase(next);
+    } else {
+      it = next;
+    }
+  }
+}
+
+std::size_t DualPortMemory::allocation_count() const {
+  std::size_t n = 0;
+  for (const Block& b : blocks_) {
+    if (b.allocated) ++n;
+  }
+  return n;
+}
+
+}  // namespace cni::core

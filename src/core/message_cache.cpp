@@ -1,0 +1,110 @@
+#include "core/message_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::core {
+
+MessageCache::MessageCache(mem::PageGeometry geometry, std::uint64_t capacity_bytes)
+    : geo_(geometry) {
+  const std::uint64_t n = capacity_bytes / geo_.size();
+  CNI_CHECK_MSG(n >= 1, "Message Cache smaller than one page buffer");
+  buffers_.resize(n);
+}
+
+bool MessageCache::contains(mem::VAddr va, std::uint64_t len) const {
+  if (len == 0) len = 1;
+  const mem::PageNum first = geo_.page_of(va);
+  const mem::PageNum last = geo_.page_of(va + len - 1);
+  for (mem::PageNum p = first; p <= last; ++p) {
+    if (map_.find(p) == map_.end()) return false;
+  }
+  return true;
+}
+
+bool MessageCache::lookup_tx(mem::VAddr va, std::uint64_t len) {
+  ++tx_lookups_;
+  if (!contains(va, len)) return false;
+  ++tx_hits_;
+  // Touch every page so the clock sweep sees recent use.
+  if (len == 0) len = 1;
+  const mem::PageNum first = geo_.page_of(va);
+  const mem::PageNum last = geo_.page_of(va + len - 1);
+  for (mem::PageNum p = first; p <= last; ++p) {
+    buffers_[map_.at(p)].referenced = true;
+  }
+  return true;
+}
+
+void MessageCache::bind_page(mem::PageNum vpn) {
+  if (auto it = map_.find(vpn); it != map_.end()) {
+    buffers_[it->second].referenced = true;
+    return;
+  }
+  // Clock sweep: first pass clears reference bits; a buffer with its bit
+  // already clear (or an unbound buffer) is the victim.
+  for (;;) {
+    Buffer& b = buffers_[clock_hand_];
+    const std::size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % buffers_.size();
+    if (!b.valid) {
+      b.valid = true;
+      b.vpn = vpn;
+      b.referenced = true;
+      map_.emplace(vpn, idx);
+      return;
+    }
+    if (b.referenced) {
+      b.referenced = false;
+      continue;
+    }
+    // Evict.
+    ++evictions_;
+    map_.erase(b.vpn);
+    b.vpn = vpn;
+    b.referenced = true;
+    map_.emplace(vpn, idx);
+    return;
+  }
+}
+
+void MessageCache::insert(mem::VAddr va, std::uint64_t len) {
+  if (len == 0) len = 1;
+  ++inserts_;
+  const mem::PageNum first = geo_.page_of(va);
+  const mem::PageNum last = geo_.page_of(va + len - 1);
+  for (mem::PageNum p = first; p <= last; ++p) bind_page(p);
+}
+
+bool MessageCache::snoop_write(mem::VAddr va, std::uint64_t len) {
+  if (len == 0) len = 1;
+  const mem::PageNum first = geo_.page_of(va);
+  const mem::PageNum last = geo_.page_of(va + len - 1);
+  bool updated = false;
+  for (mem::PageNum p = first; p <= last; ++p) {
+    if (auto it = map_.find(p); it != map_.end()) {
+      buffers_[it->second].referenced = true;
+      updated = true;
+    }
+  }
+  if (updated) ++snoop_updates_;
+  return updated;
+}
+
+void MessageCache::invalidate_page(mem::VAddr va) {
+  const mem::PageNum p = geo_.page_of(va);
+  if (auto it = map_.find(p); it != map_.end()) {
+    buffers_[it->second].valid = false;
+    buffers_[it->second].referenced = false;
+    map_.erase(it);
+  }
+}
+
+void MessageCache::invalidate_all() {
+  for (Buffer& b : buffers_) {
+    b.valid = false;
+    b.referenced = false;
+  }
+  map_.clear();
+}
+
+}  // namespace cni::core

@@ -1,0 +1,60 @@
+// Hybrid polling/interrupt receive notification (paper §2.1).
+//
+// "The host polls the network adaptor board at a rate which is dependent on
+// the rate of arrival. If the packet arrival rate is high, the host depends
+// on polling... if the arrival rate is low, the host depends on interrupts."
+//
+// The governor tracks an exponentially weighted moving average of frame
+// inter-arrival gaps. An arrival following a gap larger than the interrupt
+// threshold (the host has surely stopped polling by then) is signalled by
+// interrupt; arrivals in a busy stream are picked up by polls.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace cni::core {
+
+class PollGovernor {
+ public:
+  /// `interrupt_threshold`: a gap at least this long means the poll loop has
+  /// wound down and an interrupt is needed to get the host's attention.
+  explicit PollGovernor(sim::SimDuration interrupt_threshold)
+      : threshold_(interrupt_threshold) {}
+
+  /// Records an arrival; returns true if this one needs a host interrupt.
+  bool on_arrival(sim::SimTime now) {
+    bool interrupt;
+    if (!seen_any_) {
+      interrupt = true;  // first frame ever: nobody is polling yet
+      seen_any_ = true;
+    } else {
+      const sim::SimDuration gap = now - last_arrival_;
+      // EWMA with alpha = 1/4, in integer arithmetic.
+      avg_gap_ = avg_gap_ - avg_gap_ / 4 + gap / 4;
+      interrupt = gap >= threshold_ && avg_gap_ >= threshold_ / 2;
+    }
+    last_arrival_ = now;
+    if (interrupt) {
+      ++interrupts_;
+    } else {
+      ++polled_;
+    }
+    return interrupt;
+  }
+
+  [[nodiscard]] sim::SimDuration average_gap() const { return avg_gap_; }
+  [[nodiscard]] std::uint64_t interrupts() const { return interrupts_; }
+  [[nodiscard]] std::uint64_t polled() const { return polled_; }
+
+ private:
+  sim::SimDuration threshold_;
+  sim::SimTime last_arrival_ = 0;
+  sim::SimDuration avg_gap_ = 0;
+  bool seen_any_ = false;
+  std::uint64_t interrupts_ = 0;
+  std::uint64_t polled_ = 0;
+};
+
+}  // namespace cni::core

@@ -1,0 +1,85 @@
+#include "dsm/diff.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace cni::dsm {
+
+std::uint64_t Diff::payload_bytes() const {
+  std::uint64_t n = 16;  // writer + run count + clock framing
+  for (const Run& r : runs) n += 8 + r.bytes.size();
+  return n;
+}
+
+void Diff::serialize(ByteWriter& w) const {
+  w.u32(writer);
+  w.clock(vc);
+  w.u32(static_cast<std::uint32_t>(runs.size()));
+  for (const Run& r : runs) {
+    w.u32(r.offset);
+    w.bytes(r.bytes);
+  }
+}
+
+Diff Diff::deserialize(ByteReader& r) {
+  Diff d;
+  d.writer = r.u32();
+  d.vc = r.clock();
+  const std::uint32_t n = r.u32();
+  d.runs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Run run;
+    run.offset = r.u32();
+    run.bytes = r.bytes();
+    d.runs.push_back(std::move(run));
+  }
+  return d;
+}
+
+Diff make_diff(std::uint32_t writer, const VectorClock& vc,
+               std::span<const std::byte> twin, std::span<const std::byte> current) {
+  CNI_CHECK(twin.size() == current.size());
+  Diff d;
+  d.writer = writer;
+  d.vc = vc;
+
+  const std::size_t n = twin.size();
+  std::size_t i = 0;
+  constexpr std::size_t kJoinGap = 8;  // merge runs separated by < 8 equal bytes
+  while (i < n) {
+    if (twin[i] == current[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a run; extend while bytes differ or the equal gap is short.
+    std::size_t end = i + 1;
+    std::size_t equal_streak = 0;
+    std::size_t last_diff = i;
+    while (end < n) {
+      if (twin[end] != current[end]) {
+        last_diff = end;
+        equal_streak = 0;
+      } else if (++equal_streak >= kJoinGap) {
+        break;
+      }
+      ++end;
+    }
+    Diff::Run run;
+    run.offset = static_cast<std::uint32_t>(i);
+    run.bytes.assign(current.begin() + static_cast<std::ptrdiff_t>(i),
+                     current.begin() + static_cast<std::ptrdiff_t>(last_diff + 1));
+    d.runs.push_back(std::move(run));
+    i = end;
+  }
+  return d;
+}
+
+void apply_diff(const Diff& d, std::span<std::byte> page) {
+  for (const Diff::Run& r : d.runs) {
+    CNI_CHECK_MSG(r.offset + r.bytes.size() <= page.size(), "diff run outside the page");
+    std::memcpy(page.data() + r.offset, r.bytes.data(), r.bytes.size());
+  }
+}
+
+}  // namespace cni::dsm

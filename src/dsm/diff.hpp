@@ -1,0 +1,44 @@
+// Page diffs for concurrent write sharing.
+//
+// When several nodes write disjoint parts of one page in concurrent
+// intervals (Cholesky's many-columns-per-page case, §3.1), a faulting node
+// fetches a full page from one maximal writer and *diffs* from the others,
+// merging them locally. A diff is computed word-by-word against the twin
+// the writer made at its first write.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsm/vector_clock.hpp"
+#include "dsm/wire_format.hpp"
+
+namespace cni::dsm {
+
+struct Diff {
+  std::uint32_t writer = 0;
+  VectorClock vc;  ///< writer's clock when the diff was created
+
+  struct Run {
+    std::uint32_t offset = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Run> runs;
+
+  [[nodiscard]] std::uint64_t payload_bytes() const;
+  [[nodiscard]] bool empty() const { return runs.empty(); }
+
+  void serialize(ByteWriter& w) const;
+  static Diff deserialize(ByteReader& r);
+};
+
+/// Computes the runs where `current` differs from `twin` (same length),
+/// merging runs separated by fewer than 8 identical bytes.
+Diff make_diff(std::uint32_t writer, const VectorClock& vc,
+               std::span<const std::byte> twin, std::span<const std::byte> current);
+
+/// Applies a diff's runs onto `page`.
+void apply_diff(const Diff& d, std::span<std::byte> page);
+
+}  // namespace cni::dsm

@@ -1,0 +1,92 @@
+// Intervals and write notices (lazy release consistency).
+//
+// A node's execution is divided into intervals delimited by releases
+// (lock releases and barrier arrivals). Each interval records which shared
+// pages the node dirtied — its *write notices*. An acquire propagates every
+// interval the acquirer has not yet seen; the acquirer invalidates the
+// noticed pages, deferring data movement until it actually faults (the
+// "lazy invalidate" protocol the paper runs, after Keleher et al.).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dsm/vector_clock.hpp"
+#include "dsm/wire_format.hpp"
+
+namespace cni::dsm {
+
+using PageId = std::uint64_t;  ///< shared-region page index
+
+struct Interval {
+  std::uint32_t writer = 0;  ///< node that created the interval
+  std::uint32_t index = 0;   ///< per-writer interval sequence number (1-based)
+  VectorClock vc;            ///< writer's clock at interval creation
+  std::vector<PageId> pages; ///< write notices
+
+  void serialize(ByteWriter& w) const {
+    w.u32(writer);
+    w.u32(index);
+    w.clock(vc);
+    w.u32(static_cast<std::uint32_t>(pages.size()));
+    for (PageId p : pages) w.u64(p);
+  }
+
+  static Interval deserialize(ByteReader& r) {
+    Interval iv;
+    iv.writer = r.u32();
+    iv.index = r.u32();
+    iv.vc = r.clock();
+    const std::uint32_t n = r.u32();
+    iv.pages.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) iv.pages.push_back(r.u64());
+    return iv;
+  }
+};
+
+/// Every interval a node knows about — its own and those received in grants
+/// and barrier releases. A releaser forwards the subset the acquirer has not
+/// seen, which makes causality transitive.
+///
+/// Intervals of one writer always arrive densely (an interval's clock covers
+/// the writer's earlier intervals, and senders forward complete unseen
+/// suffixes), so each writer's log is a plain vector indexed by
+/// interval-number-1 — making unseen_by() O(answer), not O(store). This
+/// matters: fine-grained apps create hundreds of thousands of intervals.
+class IntervalStore {
+ public:
+  /// Inserts if absent. Returns true if the interval was new.
+  bool insert(Interval iv) {
+    std::vector<Interval>& log = per_writer_[iv.writer];
+    if (iv.index <= log.size()) return false;  // already known
+    CNI_CHECK_MSG(iv.index == log.size() + 1,
+                  "interval gap: causal delivery violated");
+    log.push_back(std::move(iv));
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t writer, std::uint32_t index) const {
+    auto it = per_writer_.find(writer);
+    return it != per_writer_.end() && index >= 1 && index <= it->second.size();
+  }
+
+  /// Intervals with index beyond `seen[writer]`, in deterministic
+  /// (writer, index) order.
+  [[nodiscard]] std::vector<const Interval*> unseen_by(const VectorClock& seen) const {
+    std::vector<const Interval*> out;
+    for (const auto& [w, log] : per_writer_) {
+      for (std::size_t i = seen[w]; i < log.size(); ++i) out.push_back(&log[i]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::map<std::uint32_t, std::vector<Interval>> per_writer_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cni::dsm

@@ -1,0 +1,40 @@
+// DSM protocol message types.
+//
+// All of these live in the handler range: on the CNI the PATHFINDER routes
+// them to the DSM's Application Interrupt Handlers on the board; on the
+// standard NIC they interrupt the host. MsgHeader::aux carries the lock id
+// (lock traffic) or the request id (fetch traffic).
+#pragma once
+
+#include "nic/wire.hpp"
+
+namespace cni::dsm {
+
+inline constexpr nic::MsgType kDsmLockReq = nic::kTypeHandlerBase + 0;
+inline constexpr nic::MsgType kDsmLockFwd = nic::kTypeHandlerBase + 1;    ///< home -> last releaser
+inline constexpr nic::MsgType kDsmLockGrant = nic::kTypeHandlerBase + 2;  ///< releaser -> acquirer (+ intervals)
+inline constexpr nic::MsgType kDsmLockRel = nic::kTypeHandlerBase + 3;
+inline constexpr nic::MsgType kDsmBarArrive = nic::kTypeHandlerBase + 4;  ///< node -> manager (+ new intervals)
+inline constexpr nic::MsgType kDsmBarRelease = nic::kTypeHandlerBase + 5; ///< manager -> node (+ unseen intervals)
+inline constexpr nic::MsgType kDsmPageReq = nic::kTypeHandlerBase + 6;
+inline constexpr nic::MsgType kDsmPageReply = nic::kTypeHandlerBase + 7;  ///< full page (cacheable)
+inline constexpr nic::MsgType kDsmDiffReq = nic::kTypeHandlerBase + 8;
+inline constexpr nic::MsgType kDsmDiffReply = nic::kTypeHandlerBase + 9;  ///< retained + fresh diffs
+
+/// CPU/NIC cycle costs of the protocol software (identical *counts* in both
+/// configurations; what differs is which processor runs them and whether an
+/// interrupt precedes them).
+struct DsmParams {
+  std::uint32_t fault_trap_cycles = 600;         ///< page-fault trap + dispatch (host)
+  std::uint32_t request_build_cycles = 150;      ///< building one request message (host)
+  std::uint32_t release_local_cycles = 80;       ///< closing an interval (host)
+  std::uint32_t handler_base_cycles = 120;       ///< fixed per protocol handler activation
+  std::uint32_t handler_per_interval_cycles = 25;
+  std::uint32_t handler_per_notice_cycles = 8;
+  std::uint32_t diff_word_cycles = 1;            ///< make/apply diffs, per 8 bytes
+  std::uint32_t twin_word_cycles = 2;            ///< twin copy, per 8 bytes (host)
+  std::uint32_t max_retained_diffs = 8;          ///< coalesce beyond this
+  std::uint64_t handler_code_bytes = 16 * 1024;  ///< AIH object-code footprint
+};
+
+}  // namespace cni::dsm

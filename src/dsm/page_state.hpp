@@ -1,0 +1,51 @@
+// Per-node, per-page DSM state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/diff.hpp"
+#include "dsm/vector_clock.hpp"
+#include "mem/page.hpp"
+
+namespace cni::dsm {
+
+enum class PageMode : std::uint8_t {
+  kInvalid,    ///< reads and writes fault
+  kReadOnly,   ///< writes fault (twin creation)
+  kReadWrite,  ///< full access; a twin records the pre-write image
+};
+
+/// An unapplied write notice: `writer` dirtied this page in its interval
+/// `index`, whose clock was `vc`. Kept until the next fault fetches the data.
+struct Notice {
+  std::uint32_t writer = 0;
+  std::uint32_t index = 0;
+  VectorClock vc;
+};
+
+struct PageEntry {
+  PageMode mode = PageMode::kInvalid;
+  bool ever_valid = false;  ///< page has held a coherent base copy at least once
+
+  std::vector<std::byte> data;   ///< the node's frame (allocated on first touch)
+  std::vector<std::byte> twin;   ///< pre-write image (nonempty while writing)
+  std::vector<Diff> retained;    ///< own per-interval diffs (exact vc tags)
+  std::vector<Notice> pending;   ///< invalidating notices not yet satisfied
+
+  /// The causal point the current bytes represent: everything at or below
+  /// this clock is already folded into `data`. Diff requests carry it as a
+  /// floor so writers only ship newer diffs.
+  VectorClock content_vc;
+
+
+  // Cached physical base for the fast access path (avoids a page-table map
+  // lookup per simulated load/store).
+  mem::PAddr pa_base = 0;
+  bool pa_cached = false;
+
+  [[nodiscard]] bool readable() const { return mode != PageMode::kInvalid; }
+  [[nodiscard]] bool writable() const { return mode == PageMode::kReadWrite; }
+};
+
+}  // namespace cni::dsm

@@ -1,0 +1,775 @@
+#include "dsm/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dsm/system.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+#include "util/log.hpp"
+
+namespace cni::dsm {
+
+namespace {
+
+/// Reader over a frame's body (the bytes after the MsgHeader).
+ByteReader body_reader(const atm::Frame& f) {
+  CNI_CHECK(f.payload.size() >= sizeof(nic::MsgHeader));
+  return ByteReader(std::span<const std::byte>(f.payload).subspan(sizeof(nic::MsgHeader)));
+}
+
+/// Orders diffs so that happened-before diffs apply first: a simple O(n^2)
+/// topological selection on the vector-clock partial order. Concurrent diffs
+/// touch disjoint bytes in a data-race-free program, so their relative order
+/// is immaterial; ties break on (writer, insertion order) for determinism.
+void topo_sort_diffs(std::vector<Diff>& diffs) {
+  std::vector<Diff> out;
+  out.reserve(diffs.size());
+  std::vector<bool> taken(diffs.size(), false);
+  for (std::size_t round = 0; round < diffs.size(); ++round) {
+    std::size_t pick = diffs.size();
+    for (std::size_t i = 0; i < diffs.size(); ++i) {
+      if (taken[i]) continue;
+      bool minimal = true;
+      for (std::size_t j = 0; j < diffs.size(); ++j) {
+        if (j == i || taken[j]) continue;
+        // j strictly happened-before i => i is not minimal.
+        if (diffs[j].vc.dominated_by(diffs[i].vc) && !(diffs[j].vc == diffs[i].vc)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal && (pick == diffs.size() || diffs[i].writer < diffs[pick].writer)) {
+        pick = i;
+      }
+    }
+    CNI_CHECK(pick < diffs.size());
+    taken[pick] = true;
+    out.push_back(std::move(diffs[pick]));
+  }
+  diffs = std::move(out);
+}
+
+std::uint64_t diff_words(const Diff& d) {
+  std::uint64_t bytes = 0;
+  for (const auto& r : d.runs) bytes += r.bytes.size();
+  return util::ceil_div<std::uint64_t>(bytes, 8);
+}
+
+}  // namespace
+
+DsmRuntime::DsmRuntime(DsmSystem& system, std::uint32_t self)
+    : sys_(system),
+      node_(system.cluster().node(self)),
+      self_(self),
+      nprocs_(static_cast<std::uint32_t>(system.cluster().size())),
+      vc_(nprocs_),
+      last_barrier_vc_(nprocs_) {}
+
+void DsmRuntime::install_handlers() {
+  auto& board = node_.board();
+  const std::uint64_t code = sys_.params().handler_code_bytes;
+  auto h = [this](void (DsmRuntime::*fn)(Ctx&, const atm::Frame&)) {
+    return [this, fn](Ctx& ctx, const atm::Frame& f) { (this->*fn)(ctx, f); };
+  };
+  board.install_handler(kDsmLockReq, h(&DsmRuntime::on_lock_req), code);
+  board.install_handler(kDsmLockFwd, h(&DsmRuntime::on_lock_fwd), code);
+  board.install_handler(kDsmLockGrant, h(&DsmRuntime::on_lock_grant), code);
+  board.install_handler(kDsmLockRel, h(&DsmRuntime::on_lock_rel), code);
+  board.install_handler(kDsmBarArrive, h(&DsmRuntime::on_bar_arrive), code);
+  board.install_handler(kDsmBarRelease, h(&DsmRuntime::on_bar_release), code);
+  board.install_handler(kDsmPageReq, h(&DsmRuntime::on_page_req), code);
+  board.install_handler(kDsmPageReply, h(&DsmRuntime::on_page_reply), code);
+  board.install_handler(kDsmDiffReq, h(&DsmRuntime::on_diff_req), code);
+  board.install_handler(kDsmDiffReply, h(&DsmRuntime::on_diff_reply), code);
+}
+
+// ---------------------------------------------------------------------------
+// Basic plumbing
+// ---------------------------------------------------------------------------
+
+PageEntry& DsmRuntime::entry(PageId p) {
+  CNI_CHECK_MSG(p < sys_.page_count(), "access outside the allocated shared region");
+  if (pages_.size() < sys_.page_count()) pages_.resize(sys_.page_count());
+  PageEntry& e = pages_[p];
+  if (e.data.empty()) e.data.resize(sys_.geometry().size());
+  return e;
+}
+
+PageMode DsmRuntime::page_mode(PageId p) const {
+  if (p >= pages_.size()) return PageMode::kInvalid;
+  return pages_[p].mode;
+}
+
+std::size_t DsmRuntime::pending_notices(PageId p) const {
+  if (p >= pages_.size()) return 0;
+  return pages_[p].pending.size();
+}
+
+mem::VAddr DsmRuntime::va_of_page(PageId p) const { return sys_.va_of_page(p); }
+
+std::uint64_t DsmRuntime::page_words() const { return sys_.geometry().size() / 8; }
+
+atm::Frame DsmRuntime::make_frame(std::uint32_t dst, nic::MsgType type,
+                                  std::uint16_t flags, std::uint32_t aux,
+                                  mem::VAddr buffer_va, std::vector<std::byte> payload) {
+  nic::MsgHeader h;
+  h.type = type;
+  h.flags = flags;
+  h.src_node = self_;
+  h.seq = node_.board().next_seq();
+  h.aux = aux;
+  h.buffer_va = buffer_va;
+  return atm::Frame::make(self_, dst, /*vci=*/1, h, payload);
+}
+
+void DsmRuntime::send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
+                              std::vector<std::byte> payload) {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
+  node_.cpu().charge_overhead(*thread_, sys_.params().request_build_cycles);
+  node_.board().send_from_host(*thread_, make_frame(dst, type, 0, aux, 0, std::move(payload)),
+                               nic::NicBoard::SendOptions{});
+}
+
+// ---------------------------------------------------------------------------
+// Access fast path and faults
+// ---------------------------------------------------------------------------
+
+std::byte* DsmRuntime::access(mem::VAddr va, std::uint32_t len, bool write) {
+  const PageId p = sys_.page_of_va(va);
+  if (p >= pages_.size()) pages_.resize(sys_.page_count());
+  PageEntry& e = pages_[p];
+  if (write ? !e.writable() : !e.readable()) fault(p, write);
+  const std::uint64_t off = sys_.geometry().offset_of(va);
+  CNI_DCHECK(off + len <= sys_.geometry().size());
+  (void)len;
+  if (!e.pa_cached) {
+    e.pa_base = node_.cpu().page_table().translate(va - off);
+    e.pa_cached = true;
+  }
+  node_.cpu().mem_access_phys(e.pa_base + off, write);
+  CNI_DCHECK(!e.data.empty());
+  return e.data.data() + off;
+}
+
+void DsmRuntime::fault(PageId p, bool write) {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM fault before bind_thread");
+  auto& cpu = node_.cpu();
+  cpu.sync(*thread_);
+  auto& st = cpu.stats();
+  if (write) {
+    ++st.write_faults;
+  } else {
+    ++st.read_faults;
+  }
+  cpu.charge_overhead(*thread_, sys_.params().fault_trap_cycles);
+  PageEntry& e = entry(p);
+  if (!e.readable()) fetch_page_data(e, p);
+  if (write && !e.writable()) write_upgrade(e, p);
+}
+
+void DsmRuntime::write_upgrade(PageEntry& e, PageId p) {
+  if (e.twin.empty()) {
+    e.twin = e.data;  // the pre-write image diffs are computed against
+    node_.cpu().charge_overhead(*thread_,
+                                page_words() * sys_.params().twin_word_cycles);
+  }
+  dirty_.insert(p);
+  e.mode = PageMode::kReadWrite;
+}
+
+void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
+  CNI_CHECK_MSG(!fetch_.active, "only one outstanding fetch per node");
+  CNI_LOG_DEBUG("n%u fetch page=%llu pending=%zu", self_, (unsigned long long)p,
+                e.pending.size());
+  auto& st = node_.cpu().stats();
+
+  if (e.content_vc.size() == 0) e.content_vc = VectorClock(nprocs_);
+
+  if (e.pending.empty() && (e.ever_valid || sys_.home_of(p) == self_)) {
+    // Nothing outstanding: revalidate in place.
+    e.ever_valid = true;
+    e.mode = PageMode::kReadOnly;
+    return;
+  }
+
+  // The newest pending notice per writer (retained diffs are per-interval,
+  // so the newest notice identifies everything we may need from a writer).
+  std::map<std::uint32_t, Notice> latest;
+  for (const Notice& n : e.pending) {
+    auto it = latest.find(n.writer);
+    if (it == latest.end() || n.index > it->second.index) latest[n.writer] = n;
+  }
+
+  fetch_ = Fetch{};
+  fetch_.active = true;
+  fetch_.req_id = next_req_id_++;
+  fetch_.page = p;
+  fetch_.base_from = nprocs_;  // sentinel: no base
+
+  // Phase 1 — a never-valid page needs a coherent base copy. Its source is
+  // a *maximal* pending writer (any would be correct: the reply carries the
+  // copy's per-writer content clock, and phase 2 fills whatever it lacks),
+  // or the page's home when nobody ever wrote it.
+  if (!e.ever_valid) {
+    std::uint32_t from = sys_.home_of(p);
+    const Notice* base = nullptr;
+    for (const auto& [w, n] : latest) {
+      bool dominated = false;
+      for (const auto& [w2, n2] : latest) {
+        if (w2 != w && n.vc.dominated_by(n2.vc)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      if (base == nullptr || n.index > base->index ||
+          (n.index == base->index && n.writer < base->writer)) {
+        base = &n;
+      }
+    }
+    if (base != nullptr) from = base->writer;
+    fetch_.want_base = true;
+    fetch_.base_from = from;
+    ++st.pages_fetched;
+    ByteWriter w;
+    w.u64(p);
+    w.u32(self_);
+    send_request(from, kDsmPageReq, fetch_.req_id, w.take());
+    wq_.wait(*thread_, [this] { return fetch_.complete; });
+    node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+    fetch_.complete = false;
+  }
+
+  // The per-writer floor below which data is already in hand: the base
+  // copy's shipped content clock, or our own copy's. Both are causally
+  // closed (receiving a notice implies having its causal predecessors'
+  // notices, and every fetch satisfies all pending notices), which is what
+  // makes "apply base, then only diffs above the floor" reconstruct a
+  // consistent page.
+  fetch_.floor = fetch_.want_base ? fetch_.base_vc : e.content_vc;
+  if (fetch_.floor.size() == 0) fetch_.floor = VectorClock(nprocs_);
+
+  // Phase 2 — per-interval diffs from every pending writer the floor does
+  // not cover. The base node's own writes are always in its copy.
+  for (const auto& [w, n] : latest) {
+    if (w == fetch_.base_from) continue;
+    if (n.index <= fetch_.floor[w]) continue;
+    ++fetch_.diffs_wanted;
+    ByteWriter wr;
+    wr.u64(p);
+    wr.u32(self_);
+    // Ask for exactly the interval window (floor, target]. Shipping
+    // anything newer than the notice we hold would break the content
+    // clock's causal closure: a diff from an interval we have no notice
+    // for may depend on other writers' intervals we also lack, and a later
+    // fetch of those would replay older bytes over it.
+    wr.u32(n.index);
+    wr.clock(fetch_.floor);
+    send_request(w, kDsmDiffReq, fetch_.req_id, wr.take());
+  }
+  if (fetch_.diffs_wanted != 0) {
+    wq_.wait(*thread_, [this] { return fetch_.complete; });
+    node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+  }
+
+  apply_fetch_results(e);
+  CNI_LOG_DEBUG("n%u fetch complete", self_);
+}
+
+void DsmRuntime::apply_fetch_results(PageEntry& e) {
+  auto& st = node_.cpu().stats();
+
+  if (fetch_.base_done) {
+    CNI_CHECK(fetch_.base.size() == e.data.size());
+    std::memcpy(e.data.data(), fetch_.base.data(), e.data.size());
+    // The shipped content clock is per-writer precise and causally closed.
+    if (fetch_.base_vc.size() != 0) e.content_vc.merge(fetch_.base_vc);
+  }
+
+  // Drop shipped diffs already folded in (writers over-ship only when the
+  // floor is conservative). Re-applying an old diff would revert bytes a
+  // newer chain already wrote.
+  std::vector<Diff> diffs;
+  diffs.reserve(fetch_.diffs.size());
+  for (Diff& d : fetch_.diffs) {
+    if (d.vc[d.writer] <= fetch_.floor[d.writer]) continue;
+    diffs.push_back(std::move(d));
+  }
+
+  // Every diff carries the clock of the single interval it covers, so the
+  // topological order is exactly happens-before: chained writes to the same
+  // bytes replay oldest-to-newest, concurrent diffs touch disjoint bytes.
+  // (A foreign diff never carries a stale image of *our* bytes: diffs hold
+  // only the bytes their writer itself wrote.)
+  topo_sort_diffs(diffs);
+  for (const Diff& d : diffs) {
+    apply_diff(d, e.data);
+    if (e.content_vc[d.writer] < d.vc[d.writer]) {
+      e.content_vc.set(d.writer, d.vc[d.writer]);
+    }
+  }
+  st.diffs_applied += diffs.size();
+
+  // Satisfied notices fold into the content clock (per-writer components):
+  // each pending writer's history up to its notice was shipped or already
+  // present, even when a diff turned out empty (identical bytes stored).
+  for (const Notice& n : e.pending) {
+    if (e.content_vc[n.writer] < n.index) e.content_vc.set(n.writer, n.index);
+  }
+  e.pending.clear();
+  e.ever_valid = true;
+  e.mode = PageMode::kReadOnly;
+  fetch_ = Fetch{};
+}
+
+// ---------------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------------
+
+void DsmRuntime::snapshot_own_diff(PageEntry& e, const VectorClock& tag) {
+  if (e.twin.empty()) return;
+  Diff own = make_diff(self_, tag, e.twin, e.data);
+  e.twin.clear();
+  e.twin.shrink_to_fit();
+  if (own.runs.empty()) return;
+  // Shadow subtraction keeps every byte in exactly one retained diff — the
+  // newest that wrote it. Soundness: a requester could only need the *old*
+  // image of a byte we later rewrote if its read happened-before our
+  // rewrite; but then the synchronisation chain ordering the two (the same
+  // lock, or an intervening barrier) means our rewriting interval cannot
+  // yet be closed when we serve the request, so the old image is still the
+  // byte's newest *closed* value. (Naively *merging* old diffs into new
+  // ones is NOT safe: it re-tags old bytes with a new clock and replays
+  // them over other writers' concurrent updates.) This also bounds retained
+  // storage at one page image per page.
+  for (Diff& older : e.retained) subtract_shadowed(older, own);
+  std::erase_if(e.retained, [](const Diff& d) { return d.runs.empty(); });
+  e.retained.push_back(std::move(own));
+}
+
+void DsmRuntime::subtract_shadowed(Diff& older, const Diff& newer) {
+  for (const Diff::Run& n : newer.runs) {
+    const std::uint64_t ns = n.offset;
+    const std::uint64_t ne = n.offset + n.bytes.size();
+    std::vector<Diff::Run> kept;
+    kept.reserve(older.runs.size());
+    for (Diff::Run& o : older.runs) {
+      const std::uint64_t os = o.offset;
+      const std::uint64_t oe = o.offset + o.bytes.size();
+      if (oe <= ns || os >= ne) {
+        kept.push_back(std::move(o));
+        continue;
+      }
+      if (os < ns) {  // left remainder survives
+        Diff::Run left;
+        left.offset = o.offset;
+        left.bytes.assign(o.bytes.begin(), o.bytes.begin() + static_cast<std::ptrdiff_t>(ns - os));
+        kept.push_back(std::move(left));
+      }
+      if (oe > ne) {  // right remainder survives
+        Diff::Run right;
+        right.offset = static_cast<std::uint32_t>(ne);
+        right.bytes.assign(o.bytes.begin() + static_cast<std::ptrdiff_t>(ne - os), o.bytes.end());
+        kept.push_back(std::move(right));
+      }
+    }
+    older.runs = std::move(kept);
+  }
+}
+
+void DsmRuntime::close_interval() {
+  if (dirty_.empty()) return;
+  node_.cpu().charge_overhead(*thread_, sys_.params().release_local_cycles);
+  vc_.advance(self_);
+  Interval iv;
+  iv.writer = self_;
+  iv.index = vc_[self_];
+  iv.vc = vc_;
+  iv.pages.assign(dirty_.begin(), dirty_.end());
+  // Snapshot this interval's modifications per page (tagged with exactly
+  // this interval's clock — that is what makes remote merge ordering
+  // correct), and write-protect the pages again so the next interval's
+  // writes fault and generate fresh notices. Diff creation *cost* is
+  // charged lazily at request time, like the paper's lazy protocol.
+  for (PageId p : dirty_) {
+    PageEntry& e = entry(p);
+    snapshot_own_diff(e, iv.vc);
+    if (e.content_vc.size() == 0) e.content_vc = VectorClock(nprocs_);
+    e.content_vc.set(self_, iv.index);  // own data always holds own writes
+    if (e.mode == PageMode::kReadWrite) e.mode = PageMode::kReadOnly;
+  }
+  dirty_.clear();
+  store_.insert(std::move(iv));
+}
+
+std::size_t DsmRuntime::process_incoming_interval(const Interval& iv) {
+  if (iv.writer == self_) return 0;
+  Interval copy = iv;
+  if (!store_.insert(std::move(copy))) return 0;  // already seen
+  if (vc_[iv.writer] < iv.index) vc_.set(iv.writer, iv.index);
+
+  auto& st = node_.cpu().stats();
+  st.write_notices_received += iv.pages.size();
+  for (PageId p : iv.pages) {
+    PageEntry& e = entry(p);
+    e.pending.push_back(Notice{iv.writer, iv.index, iv.vc});
+    if (e.mode != PageMode::kInvalid) {
+      if (!e.twin.empty()) {
+        // We are a concurrent writer of this page: preserve our open mods
+        // before dropping write access. They belong to our *next* interval
+        // (the page stays in dirty_, so the next close announces them);
+        // tag the diff with that upcoming interval's clock.
+        VectorClock tag = vc_;
+        tag.advance(self_);
+        snapshot_own_diff(e, tag);
+      }
+      e.mode = PageMode::kInvalid;
+    }
+  }
+  return iv.pages.size();
+}
+
+std::vector<std::byte> DsmRuntime::build_interval_payload(
+    const VectorClock& rvc, std::size_t* interval_count) const {
+  const std::vector<const Interval*> unseen = store_.unseen_by(rvc);
+  ByteWriter w;
+  w.clock(vc_);
+  w.u32(static_cast<std::uint32_t>(unseen.size()));
+  for (const Interval* iv : unseen) iv->serialize(w);
+  if (interval_count != nullptr) *interval_count = unseen.size();
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+void DsmRuntime::acquire(std::uint32_t lock) {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
+  CNI_LOG_DEBUG("n%u acquire(%u)", self_, lock);
+  node_.cpu().sync(*thread_);
+  ++node_.cpu().stats().lock_acquires;
+  lock_granted_ = false;
+  ByteWriter w;
+  w.u32(lock);
+  w.u32(self_);
+  w.clock(vc_);
+  send_request(sys_.lock_home(lock), kDsmLockReq, lock, w.take());
+  wq_.wait(*thread_, [this] { return lock_granted_; });
+  node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+}
+
+void DsmRuntime::release(std::uint32_t lock) {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
+  CNI_LOG_DEBUG("n%u release(%u)", self_, lock);
+  node_.cpu().sync(*thread_);
+  close_interval();
+  ByteWriter w;
+  w.u32(lock);
+  w.u32(self_);
+  send_request(sys_.lock_home(lock), kDsmLockRel, lock, w.take());
+}
+
+void DsmRuntime::on_lock_req(Ctx& ctx, const atm::Frame& f) {
+  ctx.charge(sys_.params().handler_base_cycles);
+  ByteReader r = body_reader(f);
+  const std::uint32_t lock = r.u32();
+  const std::uint32_t requester = r.u32();
+  VectorClock rvc = r.clock();
+
+  LockHome& L = lock_homes_[lock];
+  CNI_LOG_DEBUG("n%u lock_req lock=%u from=%u held=%d", self_, lock, requester, (int)L.held);
+  if (L.held) {
+    L.waiters.emplace_back(requester, std::move(rvc));
+    return;
+  }
+  L.held = true;
+  L.holder = requester;
+  if (!L.has_releaser || L.last_releaser == requester) {
+    // First acquire ever, or re-acquire by the very node that released last:
+    // nothing new to propagate, grant straight from the home.
+    ByteWriter w;
+    w.clock(rvc);
+    w.u32(0);
+    ctx.send(make_frame(requester, kDsmLockGrant, 0, lock, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+    return;
+  }
+  // Forward to the last releaser, which grants directly to the requester
+  // with the intervals the requester has not seen.
+  ByteWriter w;
+  w.u32(lock);
+  w.u32(requester);
+  w.clock(rvc);
+  ctx.send(make_frame(L.last_releaser, kDsmLockFwd, 0, lock, 0, w.take()),
+           nic::NicBoard::SendOptions{});
+}
+
+void DsmRuntime::on_lock_fwd(Ctx& ctx, const atm::Frame& f) {
+  ByteReader r = body_reader(f);
+  const std::uint32_t lock = r.u32();
+  const std::uint32_t requester = r.u32();
+  const VectorClock rvc = r.clock();
+  std::size_t count = 0;
+  std::vector<std::byte> payload = build_interval_payload(rvc, &count);
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles);
+  ctx.send(make_frame(requester, kDsmLockGrant, 0, lock, 0, std::move(payload)),
+           nic::NicBoard::SendOptions{});
+}
+
+void DsmRuntime::on_lock_grant(Ctx& ctx, const atm::Frame& f) {
+  ByteReader r = body_reader(f);
+  VectorClock releaser_vc = r.clock();
+  const std::uint32_t count = r.u32();
+  std::vector<Interval> ivs;
+  ivs.reserve(count);
+  std::size_t notices = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ivs.push_back(Interval::deserialize(r));
+    notices += ivs.back().pages.size();
+  }
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles +
+             notices * sys_.params().handler_per_notice_cycles);
+  CNI_LOG_DEBUG("n%u lock_grant arrives ivs=%u", self_, count);
+  sys_.cluster().engine().schedule_at(
+      ctx.cursor(), [this, ivs = std::move(ivs), releaser_vc = std::move(releaser_vc)] {
+        for (const Interval& iv : ivs) process_incoming_interval(iv);
+        vc_.merge(releaser_vc);
+        lock_granted_ = true;
+        wq_.notify_all();
+      });
+}
+
+void DsmRuntime::on_lock_rel(Ctx& ctx, const atm::Frame& f) {
+  ctx.charge(sys_.params().handler_base_cycles);
+  ByteReader r = body_reader(f);
+  const std::uint32_t lock = r.u32();
+  const std::uint32_t releaser = r.u32();
+
+  LockHome& L = lock_homes_[lock];
+  CNI_LOG_DEBUG("n%u lock_rel lock=%u from=%u waiters=%zu", self_, lock, releaser, L.waiters.size());
+  CNI_CHECK_MSG(L.held && L.holder == releaser, "release from a non-holder");
+  L.has_releaser = true;
+  L.last_releaser = releaser;
+  if (L.waiters.empty()) {
+    L.held = false;
+    return;
+  }
+  auto [next, nvc] = std::move(L.waiters.front());
+  L.waiters.pop_front();
+  L.holder = next;
+  ByteWriter w;
+  w.u32(lock);
+  w.u32(next);
+  w.clock(nvc);
+  ctx.send(make_frame(releaser, kDsmLockFwd, 0, lock, 0, w.take()),
+           nic::NicBoard::SendOptions{});
+}
+
+// ---------------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------------
+
+void DsmRuntime::barrier() {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
+  node_.cpu().sync(*thread_);
+  ++node_.cpu().stats().barriers;
+  close_interval();
+  barrier_released_ = false;
+
+  const std::vector<const Interval*> unseen = store_.unseen_by(last_barrier_vc_);
+  ByteWriter w;
+  w.u32(self_);
+  w.clock(vc_);
+  w.u32(static_cast<std::uint32_t>(unseen.size()));
+  for (const Interval* iv : unseen) iv->serialize(w);
+  node_.cpu().charge_overhead(
+      *thread_, unseen.size() * sys_.params().handler_per_interval_cycles);
+  send_request(sys_.barrier_manager(), kDsmBarArrive, 0, w.take());
+
+  wq_.wait(*thread_, [this] { return barrier_released_; });
+  node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+}
+
+void DsmRuntime::on_bar_arrive(Ctx& ctx, const atm::Frame& f) {
+  CNI_CHECK_MSG(self_ == sys_.barrier_manager(), "barrier arrive at a non-manager");
+  ByteReader r = body_reader(f);
+  const std::uint32_t node = r.u32();
+  VectorClock nvc = r.clock();
+  const std::uint32_t count = r.u32();
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles);
+
+  BarrierManager& M = barrier_mgr_;
+  if (M.node_vcs.empty()) M.node_vcs.assign(nprocs_, VectorClock(nprocs_));
+  // The manager's interval pool is separate from the node's own protocol
+  // store: inserting here must not suppress the invalidation processing the
+  // manager node itself performs when its release message arrives.
+  for (std::uint32_t i = 0; i < count; ++i) M.store.insert(Interval::deserialize(r));
+  M.node_vcs[node] = std::move(nvc);
+  ++M.arrived;
+  if (M.arrived < nprocs_) return;
+
+  M.arrived = 0;
+  ++M.epoch;
+  VectorClock global(nprocs_);
+  for (const VectorClock& v : M.node_vcs) global.merge(v);
+  for (std::uint32_t n = 0; n < nprocs_; ++n) {
+    const std::vector<const Interval*> unseen = M.store.unseen_by(M.node_vcs[n]);
+    ByteWriter w;
+    w.clock(global);
+    w.u32(static_cast<std::uint32_t>(unseen.size()));
+    for (const Interval* iv : unseen) iv->serialize(w);
+    ctx.charge(sys_.params().handler_base_cycles / 2 +
+               unseen.size() * sys_.params().handler_per_interval_cycles);
+    ctx.send(make_frame(n, kDsmBarRelease, 0, M.epoch, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+  }
+}
+
+void DsmRuntime::on_bar_release(Ctx& ctx, const atm::Frame& f) {
+  ByteReader r = body_reader(f);
+  VectorClock global = r.clock();
+  const std::uint32_t count = r.u32();
+  std::vector<Interval> ivs;
+  ivs.reserve(count);
+  std::size_t notices = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ivs.push_back(Interval::deserialize(r));
+    notices += ivs.back().pages.size();
+  }
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles +
+             notices * sys_.params().handler_per_notice_cycles);
+  sys_.cluster().engine().schedule_at(
+      ctx.cursor(), [this, ivs = std::move(ivs), global = std::move(global)] {
+        for (const Interval& iv : ivs) process_incoming_interval(iv);
+        vc_.merge(global);
+        last_barrier_vc_ = global;
+        barrier_released_ = true;
+        wq_.notify_all();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Page and diff traffic
+// ---------------------------------------------------------------------------
+
+void DsmRuntime::on_page_req(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const PageId page = r.u64();
+  const std::uint32_t requester = r.u32();
+  ctx.charge(sys_.params().handler_base_cycles);
+
+  PageEntry& e = entry(page);
+  if (e.content_vc.size() == 0) e.content_vc = VectorClock(nprocs_);
+  ByteWriter w;
+  w.u64(page);
+  w.clock(e.content_vc);  // what this copy is known to contain, per writer
+  w.bytes(e.data);
+  // The reply carries the cache bit: on a CNI the requester's board binds
+  // the page into its Message Cache on the way in (receive caching), and our
+  // own board served the payload from its cached buffer if it was bound
+  // (transmit caching).
+  ctx.send(make_frame(requester, kDsmPageReply, nic::kFlagCacheable, hdr.aux,
+                      va_of_page(page), w.take()),
+           nic::NicBoard::SendOptions{va_of_page(page), sys_.geometry().size(),
+                                      /*cacheable=*/true});
+}
+
+void DsmRuntime::on_page_reply(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const PageId page = r.u64();
+  VectorClock content = r.clock();
+  std::vector<std::byte> data = r.bytes();
+  CNI_CHECK_MSG(fetch_.active && fetch_.req_id == hdr.aux && fetch_.page == page,
+                "page reply does not match the outstanding fetch");
+  ctx.charge(sys_.params().handler_base_cycles);
+  ctx.transfer_to_host(va_of_page(page), data.size());
+  sys_.cluster().engine().schedule_at(
+      ctx.cursor(),
+      [this, data = std::move(data), content = std::move(content)]() mutable {
+        fetch_.base = std::move(data);
+        fetch_.base_vc = std::move(content);
+        fetch_.base_done = true;
+        if (fetch_.diffs_got == fetch_.diffs_wanted) {
+          fetch_.complete = true;
+          wq_.notify_all();
+        }
+      });
+}
+
+void DsmRuntime::on_diff_req(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const PageId page = r.u64();
+  const std::uint32_t requester = r.u32();
+  const std::uint32_t target = r.u32();
+  const VectorClock floor = r.clock();
+
+  // Ship exactly the per-interval diffs in (floor, target]: what the
+  // requester's notices cover and its copy lacks. Open (un-noticed)
+  // modifications and intervals beyond the target stay local.
+  PageEntry& e = entry(page);
+  std::vector<Diff> ds;
+  for (const Diff& d : e.retained) {
+    // Our retained diffs are all our own; the requester's floor carries a
+    // precise component for us (its cross components are conservative).
+    if (d.vc[self_] <= floor[self_] || d.vc[self_] > target) continue;
+    ds.push_back(d);
+  }
+  node_.cpu().stats().diffs_created += ds.size();
+  std::uint64_t words = 0;
+  for (const Diff& d : ds) words += diff_words(d);
+  ctx.charge(sys_.params().handler_base_cycles +
+             words * sys_.params().diff_word_cycles);
+
+  ByteWriter w;
+  w.u64(page);
+  w.u32(static_cast<std::uint32_t>(ds.size()));
+  for (const Diff& d : ds) d.serialize(w);
+  // The diff's *source* is the page buffer: a CNI builds the reply from the
+  // Message Cache copy when the page is bound (no host DMA). On a miss only
+  // the needed bytes cross the bus and the page is NOT bound (binding is
+  // what page transfers and receive caching do); the header likewise does
+  // not carry the cache bit, so the receiver never binds a diff image.
+  nic::NicBoard::SendOptions opts;
+  opts.source_va = va_of_page(page);
+  opts.source_len = sys_.geometry().size();
+  opts.cacheable = false;
+  ctx.send(make_frame(requester, kDsmDiffReply, 0, hdr.aux, 0, w.take()), opts);
+}
+
+void DsmRuntime::on_diff_reply(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const PageId page = r.u64();
+  const std::uint32_t count = r.u32();
+  std::vector<Diff> ds;
+  ds.reserve(count);
+  std::uint64_t words = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ds.push_back(Diff::deserialize(r));
+    words += diff_words(ds.back());
+  }
+  CNI_CHECK_MSG(fetch_.active && fetch_.req_id == hdr.aux && fetch_.page == page,
+                "diff reply does not match the outstanding fetch");
+  ctx.charge(sys_.params().handler_base_cycles +
+             words * sys_.params().diff_word_cycles);
+  ctx.transfer_to_host(va_of_page(page), std::max<std::uint64_t>(words * 8, 8));
+  sys_.cluster().engine().schedule_at(ctx.cursor(), [this, ds = std::move(ds)]() mutable {
+    for (Diff& d : ds) fetch_.diffs.push_back(std::move(d));
+    ++fetch_.diffs_got;
+    if (fetch_.base_done == fetch_.want_base && fetch_.diffs_got == fetch_.diffs_wanted) {
+      fetch_.complete = true;
+      wq_.notify_all();
+    }
+  });
+}
+
+}  // namespace cni::dsm

@@ -1,0 +1,197 @@
+// Per-node DSM runtime: lazy-invalidate release consistency.
+//
+// One DsmRuntime exists per cluster node. The application thread calls the
+// acquire/release/barrier/access API; the protocol itself is a set of
+// handlers installed on the node's network board — Application Interrupt
+// Handlers executing on the CNI's network processor, or host-side interrupt
+// handlers on the standard NIC. The protocol (after Keleher et al., which
+// the paper's evaluation runs):
+//
+//   * writes are detected by (simulated) page protection: a write fault
+//     twins the page and adds it to the current interval's write notices;
+//   * a release closes the interval; an acquire carries every interval the
+//     acquirer has not seen, and the acquirer *invalidates* the noticed
+//     pages (lazy invalidate);
+//   * a fault on an invalidated page fetches a full page from a maximal
+//     concurrent writer plus diffs from the other maximal writers
+//     (concurrent write sharing), merged locally in happens-before order;
+//   * locks use a home-based distributed manager whose grants travel
+//     releaser -> acquirer directly; barriers use a centralized manager that
+//     redistributes intervals (paper: lazy invalidate RC, barrier+lock apps).
+//
+// Page replies carry the Message Cache header bit, so on the CNI they are
+// receive-cached on their way in and transmit-cached on their way out — the
+// page-migration fast path the paper's Cholesky discussion highlights.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "atm/packet.hpp"
+#include "cluster/cluster.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/page_state.hpp"
+#include "nic/board.hpp"
+#include "sim/channel.hpp"
+
+namespace cni::dsm {
+
+class DsmSystem;
+
+class DsmRuntime {
+ public:
+  DsmRuntime(DsmSystem& system, std::uint32_t self);
+
+  /// Binds the application thread that will call the app-side API.
+  void bind_thread(sim::SimThread& thread) { thread_ = &thread; }
+
+  // ---- Application API (call only from the bound thread) ----
+
+  void acquire(std::uint32_t lock);
+  void release(std::uint32_t lock);
+  void barrier();
+
+  /// Fast-path shared access: validates protection (faulting and fetching as
+  /// needed), charges the cache-model timing, and returns a pointer to the
+  /// bytes. [va, va+len) must lie within one page.
+  std::byte* access(mem::VAddr va, std::uint32_t len, bool write);
+
+  template <typename T>
+  [[nodiscard]] T read(mem::VAddr va) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, access(va, sizeof(T), false), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write(mem::VAddr va, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(access(va, sizeof(T), true), &value, sizeof(T));
+  }
+
+  // ---- Introspection (tests, stats) ----
+  [[nodiscard]] std::uint32_t self() const { return self_; }
+  [[nodiscard]] const VectorClock& clock() const { return vc_; }
+  [[nodiscard]] PageMode page_mode(PageId p) const;
+  [[nodiscard]] std::size_t pending_notices(PageId p) const;
+  [[nodiscard]] const IntervalStore& interval_store() const { return store_; }
+  [[nodiscard]] cluster::Node& node() { return node_; }
+
+ private:
+  using Ctx = nic::NicBoard::RxContext;
+  friend class DsmSystem;
+
+  /// Installs the protocol handlers on this node's board.
+  void install_handlers();
+
+  // -- protocol handlers (run on the NIC for CNI, on the host for standard) --
+  void on_lock_req(Ctx& ctx, const atm::Frame& f);
+  void on_lock_fwd(Ctx& ctx, const atm::Frame& f);
+  void on_lock_grant(Ctx& ctx, const atm::Frame& f);
+  void on_lock_rel(Ctx& ctx, const atm::Frame& f);
+  void on_bar_arrive(Ctx& ctx, const atm::Frame& f);
+  void on_bar_release(Ctx& ctx, const atm::Frame& f);
+  void on_page_req(Ctx& ctx, const atm::Frame& f);
+  void on_page_reply(Ctx& ctx, const atm::Frame& f);
+  void on_diff_req(Ctx& ctx, const atm::Frame& f);
+  void on_diff_reply(Ctx& ctx, const atm::Frame& f);
+
+  // -- machinery --
+  PageEntry& entry(PageId p);
+  void fault(PageId p, bool write);
+  void fetch_page_data(PageEntry& e, PageId p);
+  void apply_fetch_results(PageEntry& e);
+  void write_upgrade(PageEntry& e, PageId p);
+  void close_interval();
+
+  /// Handles one incoming interval: stores it, merges the clock component,
+  /// records pending notices and invalidates affected pages (preserving any
+  /// local modifications as retained diffs). Returns the notice count.
+  std::size_t process_incoming_interval(const Interval& iv);
+
+  /// Snapshots the page's open modifications (twin vs data) as a retained
+  /// per-interval diff tagged `tag`, clearing the twin.
+  void snapshot_own_diff(PageEntry& e, const VectorClock& tag);
+
+  /// Removes from `older` every byte range `newer` also covers (shadow
+  /// subtraction: each byte lives in exactly one retained diff).
+  static void subtract_shadowed(Diff& older, const Diff& newer);
+
+  /// Builds a grant-style payload: releaser clock + intervals unseen by rvc.
+  std::vector<std::byte> build_interval_payload(const VectorClock& rvc,
+                                                std::size_t* interval_count) const;
+
+  atm::Frame make_frame(std::uint32_t dst, nic::MsgType type, std::uint16_t flags,
+                        std::uint32_t aux, mem::VAddr buffer_va,
+                        std::vector<std::byte> payload);
+
+  /// Sends a protocol request from the application thread (charges the
+  /// request-build cost plus the board's host-side send cost).
+  void send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
+                    std::vector<std::byte> payload);
+
+  [[nodiscard]] mem::VAddr va_of_page(PageId p) const;
+  [[nodiscard]] std::uint64_t page_words() const;
+
+  // -- lock home bookkeeping (for locks homed at this node) --
+  struct LockHome {
+    bool held = false;
+    bool has_releaser = false;
+    std::uint32_t holder = 0;
+    std::uint32_t last_releaser = 0;
+    std::deque<std::pair<std::uint32_t, VectorClock>> waiters;
+  };
+
+  // -- barrier manager (only used on node 0) --
+  struct BarrierManager {
+    std::uint32_t arrived = 0;
+    std::uint32_t epoch = 0;
+    std::vector<VectorClock> node_vcs;
+    IntervalStore store;  ///< separate from the node's own store (see .cpp)
+  };
+
+  // -- one outstanding data fetch (the app thread blocks on it) --
+  struct Fetch {
+    bool active = false;
+    std::uint32_t req_id = 0;
+    PageId page = 0;
+    bool want_base = false;
+    bool base_done = false;
+    std::uint32_t base_from = 0;  ///< node serving the base page
+    VectorClock base_vc;  ///< the base copy's shipped per-writer content clock
+    VectorClock floor;    ///< per-writer content floor (filters shipped diffs)
+    std::uint32_t diffs_wanted = 0;
+    std::uint32_t diffs_got = 0;
+    std::vector<std::byte> base;
+    std::vector<Diff> diffs;
+    bool complete = false;
+  };
+
+  DsmSystem& sys_;
+  cluster::Node& node_;
+  std::uint32_t self_;
+  std::uint32_t nprocs_;
+  sim::SimThread* thread_ = nullptr;
+
+  VectorClock vc_;
+  IntervalStore store_;
+  VectorClock last_barrier_vc_;  ///< global clock of the last barrier release
+  std::vector<PageEntry> pages_;
+  std::set<PageId> dirty_;  ///< write notices of the open interval
+  std::uint32_t next_req_id_ = 1;
+
+  std::map<std::uint32_t, LockHome> lock_homes_;
+  BarrierManager barrier_mgr_;
+
+  Fetch fetch_;
+  bool lock_granted_ = false;
+  bool barrier_released_ = false;
+  sim::WaitQueue wq_;
+};
+
+}  // namespace cni::dsm

@@ -1,0 +1,52 @@
+#include "dsm/system.hpp"
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace cni::dsm {
+
+DsmSystem::DsmSystem(cluster::Cluster& cluster, DsmParams params)
+    : cluster_(cluster), params_(params), geo_(cluster.params().page_size) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    runtimes_.push_back(
+        std::make_unique<DsmRuntime>(*this, static_cast<std::uint32_t>(i)));
+  }
+  for (auto& rt : runtimes_) rt->install_handlers();
+}
+
+mem::VAddr DsmSystem::alloc_with_homes(std::uint64_t bytes, const std::string& name,
+                                       const std::vector<std::uint32_t>& page_homes) {
+  (void)name;
+  CNI_CHECK(bytes > 0);
+  const mem::VAddr base = mem::kSharedBase + next_offset_;
+  next_offset_ += util::align_up(bytes, geo_.size());
+  homes_.insert(homes_.end(), page_homes.begin(), page_homes.end());
+  return base;
+}
+
+mem::VAddr DsmSystem::alloc(std::uint64_t bytes, const std::string& name) {
+  const std::uint64_t npages = util::ceil_div(bytes, geo_.size());
+  std::vector<std::uint32_t> homes(npages);
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    homes[i] = static_cast<std::uint32_t>((homes_.size() + i) % nodes());
+  }
+  return alloc_with_homes(bytes, name, homes);
+}
+
+mem::VAddr DsmSystem::alloc_blocked(std::uint64_t bytes, const std::string& name) {
+  const std::uint64_t npages = util::ceil_div(bytes, geo_.size());
+  std::vector<std::uint32_t> homes(npages);
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    homes[i] = static_cast<std::uint32_t>(i * nodes() / npages);
+  }
+  return alloc_with_homes(bytes, name, homes);
+}
+
+mem::VAddr DsmSystem::alloc_at(std::uint64_t bytes, const std::string& name,
+                               std::uint32_t home) {
+  CNI_CHECK(home < nodes());
+  const std::uint64_t npages = util::ceil_div(bytes, geo_.size());
+  return alloc_with_homes(bytes, name, std::vector<std::uint32_t>(npages, home));
+}
+
+}  // namespace cni::dsm

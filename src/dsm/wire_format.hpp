@@ -1,0 +1,90 @@
+// Byte-level serialization for DSM protocol payloads.
+//
+// Protocol messages (lock grants carrying interval sets, page and diff
+// replies) have variable-length bodies; these helpers lay them out after the
+// fixed MsgHeader so the frames that cross the simulated wire carry real,
+// parseable bytes — their sizes drive the ATM cell counts and DMA costs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "dsm/vector_clock.hpp"
+#include "util/check.hpp"
+
+namespace cni::dsm {
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+
+  void bytes(std::span<const std::byte> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  void clock(const VectorClock& vc) {
+    u32(static_cast<std::uint32_t>(vc.size()));
+    for (std::size_t i = 0; i < vc.size(); ++i) u32(vc[i]);
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  std::vector<std::byte> bytes() {
+    const std::uint32_t n = u32();
+    CNI_CHECK_MSG(pos_ + n <= buf_.size(), "truncated DSM payload");
+    std::vector<std::byte> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  VectorClock clock() {
+    const std::uint32_t n = u32();
+    VectorClock vc(n);
+    for (std::uint32_t i = 0; i < n; ++i) vc.set(i, u32());
+    return vc;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    CNI_CHECK_MSG(pos_ + n <= buf_.size(), "truncated DSM payload");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cni::dsm

@@ -1,0 +1,49 @@
+// Address types and page geometry.
+//
+// Each simulated node has its own virtual and physical address spaces. The
+// DSM shared region lives at a fixed virtual base on every node; the page
+// size is a run parameter (the paper sweeps it in Figures 5, 9 and 12).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace cni::mem {
+
+using VAddr = std::uint64_t;  ///< node-local virtual address
+using PAddr = std::uint64_t;  ///< node-local physical address
+using PageNum = std::uint64_t;
+
+/// Virtual base of the DSM shared region on every node (arbitrary, high
+/// enough to never collide with the private heap model).
+inline constexpr VAddr kSharedBase = 0x4000'0000'0000ULL;
+
+/// Page geometry for one run. Page size must be a power of two; the Message
+/// Cache buffer size equals the host page size (paper §2.2).
+class PageGeometry {
+ public:
+  explicit PageGeometry(std::uint64_t page_size) : size_(page_size) {
+    CNI_CHECK_MSG(util::is_pow2(page_size), "page size must be a power of two");
+    CNI_CHECK_MSG(page_size >= 256, "page size unrealistically small");
+    std::uint64_t s = page_size;
+    shift_ = 0;
+    while (s > 1) {
+      s >>= 1;
+      ++shift_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] unsigned shift() const { return shift_; }
+  [[nodiscard]] PageNum page_of(VAddr a) const { return a >> shift_; }
+  [[nodiscard]] VAddr base_of(PageNum p) const { return p << shift_; }
+  [[nodiscard]] std::uint64_t offset_of(VAddr a) const { return a & (size_ - 1); }
+
+ private:
+  std::uint64_t size_;
+  unsigned shift_;
+};
+
+}  // namespace cni::mem

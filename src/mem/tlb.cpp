@@ -1,0 +1,42 @@
+#include "mem/tlb.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::mem {
+
+PageNum PageTable::frame_of(PageNum vpn) {
+  auto it = va_to_pa_.find(vpn);
+  if (it != va_to_pa_.end()) return it->second;
+  const PageNum ppn = next_frame_++;
+  va_to_pa_.emplace(vpn, ppn);
+  pa_to_va_.emplace(ppn, vpn);
+  return ppn;
+}
+
+PAddr PageTable::translate(VAddr va) {
+  const PageNum ppn = frame_of(geo_.page_of(va));
+  return geo_.base_of(ppn) | geo_.offset_of(va);
+}
+
+std::optional<PageNum> PageTable::vpn_of(PageNum ppn) const {
+  auto it = pa_to_va_.find(ppn);
+  if (it == pa_to_va_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<VAddr> PageTable::reverse(PAddr pa) const {
+  auto vpn = vpn_of(geo_.page_of(pa));
+  if (!vpn.has_value()) return std::nullopt;
+  return geo_.base_of(*vpn) | geo_.offset_of(pa);
+}
+
+Tlb::Tlb(std::size_t entries, std::uint32_t miss_penalty_cycles)
+    : entries_(entries), miss_penalty_(miss_penalty_cycles) {
+  CNI_CHECK(entries > 0);
+}
+
+void Tlb::invalidate_all() {
+  for (auto& e : entries_) e.valid = false;
+}
+
+}  // namespace cni::mem

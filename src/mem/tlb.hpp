@@ -1,0 +1,98 @@
+// Page table, TLB and reverse TLB.
+//
+// The CNI board keeps "a TLB and a RTLB which keeps mappings between host
+// virtual and physical memory addresses and permits virtually addressed DMA
+// operations" (§2.2). The host page table is the authority; the board-side
+// TLB caches VA->PA for DMA and the RTLB caches PA->VA so the snooper can
+// turn a snooped physical write target back into the virtual buffer it may
+// have cached.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/page.hpp"
+
+namespace cni::mem {
+
+/// Host page table for one node: allocates physical frames on first touch.
+class PageTable {
+ public:
+  explicit PageTable(PageGeometry geometry) : geo_(geometry) {}
+
+  [[nodiscard]] const PageGeometry& geometry() const { return geo_; }
+
+  /// Returns the physical frame for `vpn`, allocating one if needed.
+  PageNum frame_of(PageNum vpn);
+
+  /// Translates a full virtual address (allocating on first touch).
+  PAddr translate(VAddr va);
+
+  /// Reverse lookup: the vpn mapped to `ppn`, if any.
+  [[nodiscard]] std::optional<PageNum> vpn_of(PageNum ppn) const;
+
+  /// Reverse-translates a physical address to its virtual address, if mapped.
+  [[nodiscard]] std::optional<VAddr> reverse(PAddr pa) const;
+
+  [[nodiscard]] std::size_t mapped_pages() const { return va_to_pa_.size(); }
+
+ private:
+  PageGeometry geo_;
+  std::unordered_map<PageNum, PageNum> va_to_pa_;
+  std::unordered_map<PageNum, PageNum> pa_to_va_;
+  PageNum next_frame_ = 0x100;  // leave low frames for "OS"; arbitrary
+};
+
+/// A direct-mapped translation cache (used for both the board TLB and RTLB).
+/// Data-less: it consults the page table on miss and records the cost.
+class Tlb {
+ public:
+  Tlb(std::size_t entries, std::uint32_t miss_penalty_cycles);
+
+  /// Looks up `key` (a vpn for the TLB, a ppn for the RTLB). Returns the
+  /// translation via the page-table functor and adds the miss penalty to
+  /// *cycles on a miss.
+  template <typename Resolve>
+  std::optional<PageNum> lookup(PageNum key, Resolve&& resolve, std::uint64_t* cycles) {
+    ++lookups_;
+    Entry& e = entries_[key % entries_.size()];
+    if (e.valid && e.key == key) {
+      ++hits_;
+      return e.value;
+    }
+    if (cycles != nullptr) *cycles += miss_penalty_;
+    std::optional<PageNum> v = resolve(key);
+    if (v.has_value()) {
+      e.valid = true;
+      e.key = key;
+      e.value = *v;
+    }
+    return v;
+  }
+
+  void invalidate(PageNum key) {
+    Entry& e = entries_[key % entries_.size()];
+    if (e.valid && e.key == key) e.valid = false;
+  }
+
+  void invalidate_all();
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint32_t miss_penalty() const { return miss_penalty_; }
+
+ private:
+  struct Entry {
+    PageNum key = 0;
+    PageNum value = 0;
+    bool valid = false;
+  };
+  std::vector<Entry> entries_;
+  std::uint32_t miss_penalty_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace cni::mem

@@ -1,0 +1,52 @@
+#include "nic/osiris.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::nic {
+
+OsirisBoard::OsirisBoard(sim::Engine& engine, atm::Fabric& fabric, HostSystem& host,
+                         const NicParams& params, atm::NodeId node)
+    : engine_(engine),
+      fabric_(fabric),
+      host_(host),
+      params_(params),
+      node_(node),
+      nic_clock_(params.nic_freq_hz) {
+  fabric_.attach(node, [this](atm::Frame f) { on_frame(std::move(f)); });
+}
+
+void OsirisBoard::install_handler(MsgType type, Handler handler, std::uint64_t code_bytes) {
+  (void)code_bytes;  // the CNI override accounts handler memory; the base keeps the map
+  CNI_CHECK_MSG(handlers_.find(type) == handlers_.end(), "handler type already installed");
+  handlers_.emplace(type, std::move(handler));
+}
+
+void OsirisBoard::bind_channel(MsgType type, sim::SimChannel<atm::Frame>* channel) {
+  CNI_CHECK(channel != nullptr);
+  CNI_CHECK_MSG(channels_.find(type) == channels_.end(), "channel type already bound");
+  channels_.emplace(type, channel);
+}
+
+sim::SimDuration OsirisBoard::sar_time(std::uint64_t bytes) const {
+  const std::uint64_t cells = fabric_.cells().cells_for(bytes);
+  return nic_clock_.cycles(cells * params_.per_cell_sar_cycles);
+}
+
+NicBoard::Handler* OsirisBoard::find_handler(MsgType type) {
+  auto it = handlers_.find(type);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+sim::SimChannel<atm::Frame>* OsirisBoard::find_channel(MsgType type) {
+  auto it = channels_.find(type);
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+void OsirisBoard::deliver_to_channel(sim::SimTime t, atm::Frame frame) {
+  const MsgHeader hdr = frame.header<MsgHeader>();
+  sim::SimChannel<atm::Frame>* ch = find_channel(hdr.type);
+  CNI_CHECK_MSG(ch != nullptr, "frame arrived for an unbound app message type");
+  engine_.schedule_at(t, [ch, f = std::move(frame)]() mutable { ch->send(std::move(f)); });
+}
+
+}  // namespace cni::nic

@@ -1,0 +1,61 @@
+// OSIRIS board substrate.
+//
+// Both boards in the study are built on the OSIRIS ATM adaptor (Druschel,
+// Peterson & Davie 1994): on-board dual-ported memory, a DMA engine on the
+// host memory bus, and transmit/receive processors that perform AAL5-style
+// segmentation and reassembly at 33 MHz. This base class models that shared
+// datapath; CniBoard and StandardNic specialize the send/receive control
+// paths on top of it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "atm/fabric.hpp"
+#include "nic/board.hpp"
+
+namespace cni::nic {
+
+class OsirisBoard : public NicBoard {
+ public:
+  OsirisBoard(sim::Engine& engine, atm::Fabric& fabric, HostSystem& host,
+              const NicParams& params, atm::NodeId node);
+
+  void install_handler(MsgType type, Handler handler, std::uint64_t code_bytes) override;
+  void bind_channel(MsgType type, sim::SimChannel<atm::Frame>* channel) override;
+  [[nodiscard]] const NicParams& params() const override { return params_; }
+
+  [[nodiscard]] atm::NodeId node() const { return node_; }
+  [[nodiscard]] const sim::Clock& nic_clock() const { return nic_clock_; }
+
+  std::uint32_t next_seq() override { return seq_++; }
+
+ protected:
+  /// Frame arrival from the fabric (last bit on board at engine.now()).
+  virtual void on_frame(atm::Frame frame) = 0;
+
+  /// SAR time for a payload of `bytes` on a 33 MHz NIC processor.
+  [[nodiscard]] sim::SimDuration sar_time(std::uint64_t bytes) const;
+
+  [[nodiscard]] Handler* find_handler(MsgType type);
+  [[nodiscard]] sim::SimChannel<atm::Frame>* find_channel(MsgType type);
+
+  /// Schedules delivery of an app frame into its bound channel at time `t`.
+  void deliver_to_channel(sim::SimTime t, atm::Frame frame);
+
+  sim::Engine& engine_;
+  atm::Fabric& fabric_;
+  HostSystem& host_;
+  NicParams params_;
+  atm::NodeId node_;
+  sim::Clock nic_clock_;
+  sim::ServiceQueue tx_proc_;  ///< transmit processor occupancy
+  sim::ServiceQueue rx_proc_;  ///< receive processor occupancy
+
+ private:
+  std::unordered_map<MsgType, Handler> handlers_;
+  std::unordered_map<MsgType, sim::SimChannel<atm::Frame>*> channels_;
+  std::uint32_t seq_ = 1;
+};
+
+}  // namespace cni::nic

@@ -1,0 +1,107 @@
+#include "nic/standard_nic.hpp"
+
+#include "util/units.hpp"
+
+namespace cni::nic {
+
+StandardNic::StandardNic(sim::Engine& engine, atm::Fabric& fabric, HostSystem& host,
+                         const NicParams& params, atm::NodeId node)
+    : OsirisBoard(engine, fabric, host, params, node) {}
+
+void StandardNic::send_from_host(sim::SimThread& self, atm::Frame frame,
+                                 const SendOptions& opts) {
+  // Kernel entry, protection checks, driver descriptor setup — and, on a
+  // write-back host, flushing the buffer so the DMA reads current data.
+  std::uint64_t cycles = params_.kernel_send_cycles;
+  if (opts.source_va != 0) {
+    const std::uint64_t span = opts.source_len != 0 ? opts.source_len : frame.size();
+    cycles += host_.flush_buffer(opts.source_va, span);
+  }
+  host_.charge_overhead(self, cycles);
+  start_tx(engine_.now(), std::move(frame));
+}
+
+void StandardNic::send_from_protocol(sim::SimTime ready, atm::Frame frame,
+                                     const SendOptions& opts) {
+  // Protocol code runs on the host here, so a reply send consumes host CPU
+  // (stolen from the application) before the board can start.
+  std::uint64_t cycles = params_.kernel_send_cycles;
+  if (opts.source_va != 0) {
+    const std::uint64_t span = opts.source_len != 0 ? opts.source_len : frame.size();
+    cycles += host_.flush_buffer(opts.source_va, span);
+  }
+  host_.steal_cycles(cycles);
+  start_tx(ready + host_.cpu_clock().cycles(cycles), std::move(frame));
+}
+
+void StandardNic::start_tx(sim::SimTime t, atm::Frame frame) {
+  const std::uint64_t bytes = frame.size();
+  // Descriptor fetch on the transmit processor.
+  const sim::SimTime desc_done =
+      tx_proc_.occupy(t, nic_clock_.cycles(params_.per_frame_tx_cycles));
+  // The standard board always pulls the data across the memory bus.
+  const sim::SimTime dma_done = host_.bus().dma_read(desc_done, bytes);
+  // Segmentation, then the wire.
+  const sim::SimTime sar_done = tx_proc_.occupy(dma_done, sar_time(bytes));
+
+  auto& st = host_.stats();
+  ++st.messages_sent;
+  st.bytes_sent += bytes;
+  ++st.dma_transfers;
+  st.dma_bytes += bytes;
+
+  const atm::DeliveryTiming timing = fabric_.send(sar_done, std::move(frame));
+  st.cells_sent += timing.cells;
+}
+
+void StandardNic::on_frame(atm::Frame frame) {
+  const sim::SimTime arrival = engine_.now();
+  // Reassembly on the receive processor.
+  const sim::SimTime rx_done = rx_proc_.occupy(
+      arrival, nic_clock_.cycles(params_.per_frame_rx_cycles) + sar_time(frame.size()));
+  // DMA the frame into the kernel receive ring.
+  const sim::SimTime dma_done = host_.bus().dma_write(rx_done, 0, frame.size());
+
+  // Host interrupt + kernel dispatch. The CPU cost is stolen from the app.
+  auto& st = host_.stats();
+  ++st.host_interrupts;
+  const sim::Clock cpu = host_.cpu_clock();
+  const std::uint64_t intr_cycles =
+      cpu.to_cycles_ceil(params_.interrupt_latency) + params_.kernel_recv_cycles;
+  host_.steal_cycles(intr_cycles);
+  const sim::SimTime dispatch = dma_done + cpu.cycles(intr_cycles);
+
+  const MsgHeader hdr = frame.header<MsgHeader>();
+  if (Handler* h = find_handler(hdr.type); h != nullptr) {
+    engine_.schedule_at(dispatch, [this, h, f = std::move(frame), dispatch]() {
+      RxContext ctx(*this, dispatch, /*on_nic=*/false);
+      (*h)(ctx, f);
+    });
+    return;
+  }
+  deliver_to_channel(dispatch, std::move(frame));
+}
+
+sim::SimTime StandardNic::rx_charge(RxContext& ctx, std::uint64_t cycles) {
+  host_.steal_cycles(cycles);
+  return ctx.cursor() + host_.cpu_clock().cycles(cycles);
+}
+
+sim::SimTime StandardNic::rx_transfer_to_host(RxContext& ctx, mem::VAddr va,
+                                              std::uint64_t bytes) {
+  // The kernel copies from the receive ring into the destination buffer.
+  const std::uint64_t words = util::ceil_div<std::uint64_t>(bytes, 8);
+  const std::uint64_t cycles = words * params_.host_copy_cycles_per_word;
+  host_.steal_cycles(cycles);
+  host_.cache_invalidate(va, bytes);
+  return ctx.cursor() + host_.cpu_clock().cycles(cycles);
+}
+
+atm::Frame StandardNic::receive_app(sim::SimThread& self,
+                                    sim::SimChannel<atm::Frame>& channel) {
+  // The interrupt + kernel dispatch cost was stolen when the frame arrived;
+  // the wakeup itself adds nothing.
+  return channel.receive(self);
+}
+
+}  // namespace cni::nic

@@ -1,0 +1,38 @@
+// The baseline: a standard workstation network interface.
+//
+// Per paper §3, the comparison cluster uses a NIC "which does not have
+// Application Device Channels, Message Caches and support for Application
+// Interrupt Handlers": every send crosses the kernel, every transmit DMAs
+// its data from host memory, every receive DMAs to a kernel ring and raises
+// a host interrupt, and all protocol code runs on the host CPU.
+#pragma once
+
+#include "nic/osiris.hpp"
+
+namespace cni::nic {
+
+class StandardNic final : public OsirisBoard {
+ public:
+  StandardNic(sim::Engine& engine, atm::Fabric& fabric, HostSystem& host,
+              const NicParams& params, atm::NodeId node);
+
+  void send_from_host(sim::SimThread& self, atm::Frame frame,
+                      const SendOptions& opts) override;
+  void send_from_protocol(sim::SimTime ready, atm::Frame frame,
+                          const SendOptions& opts) override;
+  atm::Frame receive_app(sim::SimThread& self,
+                         sim::SimChannel<atm::Frame>& channel) override;
+  [[nodiscard]] std::uint64_t wakeup_cost_cycles() const override { return 0; }
+
+ protected:
+  void on_frame(atm::Frame frame) override;
+  sim::SimTime rx_charge(RxContext& ctx, std::uint64_t cycles) override;
+  sim::SimTime rx_transfer_to_host(RxContext& ctx, mem::VAddr va,
+                                   std::uint64_t bytes) override;
+
+ private:
+  /// Shared transmit tail: descriptor handling, host->board DMA, SAR, wire.
+  void start_tx(sim::SimTime t, atm::Frame frame);
+};
+
+}  // namespace cni::nic

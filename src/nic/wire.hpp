@@ -1,0 +1,39 @@
+// Message wire format.
+//
+// Every frame starts with a MsgHeader. The leading bytes (vci is carried in
+// the Frame itself, mirroring the ATM cell header) are what the PATHFINDER
+// patterns match on: `type` selects the protocol action / Application
+// Interrupt Handler, `flags` carries the "cache me" bit the Message Cache
+// checks (paper §2.2), and `buffer_va` tags the host buffer a DSM page
+// belongs to so receive caching can bind NIC buffer -> host buffer.
+#pragma once
+
+#include <cstdint>
+
+namespace cni::nic {
+
+using MsgType = std::uint16_t;
+
+/// Flag bits in MsgHeader::flags.
+enum MsgFlags : std::uint16_t {
+  kFlagCacheable = 1u << 0,  ///< message buffer should enter the Message Cache
+  kFlagFragment = 1u << 1,   ///< continuation fragment of a larger transfer
+};
+
+struct MsgHeader {
+  MsgType type = 0;          ///< demultiplexing key (PATHFINDER pattern target)
+  std::uint16_t flags = 0;
+  std::uint32_t src_node = 0;
+  std::uint32_t seq = 0;          ///< per-sender sequence number
+  std::uint32_t aux = 0;          ///< protocol-specific small field
+  std::uint64_t buffer_va = 0;    ///< host virtual address this payload maps to
+};
+static_assert(sizeof(MsgHeader) == 24);
+
+/// Message-type ranges. DSM protocol types live in the handler range so the
+/// PATHFINDER can route them to Application Interrupt Handlers; app types are
+/// delivered to Application Device Channel receive queues.
+inline constexpr MsgType kTypeAppBase = 0x0100;      ///< app-level messages (ADC delivery)
+inline constexpr MsgType kTypeHandlerBase = 0x0200;  ///< protocol messages (AIH delivery)
+
+}  // namespace cni::nic

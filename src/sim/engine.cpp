@@ -1,0 +1,48 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace cni::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  CNI_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+void Engine::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, which is safe
+    // because we pop immediately and never touch the moved-from element.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    CNI_DCHECK(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().t > deadline) break;
+    if (!step()) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace cni::sim

@@ -1,0 +1,99 @@
+// Deterministic discrete-event engine.
+//
+// Events fire in (time, insertion-sequence) order, so two events scheduled
+// for the same instant fire in the order they were scheduled — this is what
+// makes the whole simulation bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cni::sim {
+
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must not be in the past).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + dt.
+  EventId schedule_after(SimDuration dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a harmless no-op (lazy deletion).
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty. Rethrows any exception raised by a
+  /// callback (e.g. a failed check inside a simulated thread).
+  void run();
+
+  /// Runs events with time <= deadline; events beyond it stay queued.
+  void run_until(SimTime deadline);
+
+  /// Executes the single next event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Models a serially-reusable resource (a bus, a link, a NIC processor): jobs
+/// queue FIFO and each occupies the resource for its duration.
+class ServiceQueue {
+ public:
+  /// Reserves the resource for `duration` starting no earlier than `now`.
+  /// Returns the completion time; the resource is busy until then.
+  SimTime occupy(SimTime now, SimDuration duration) {
+    const SimTime start = now > busy_until_ ? now : busy_until_;
+    busy_until_ = start + duration;
+    total_busy_ += duration;
+    ++jobs_;
+    return busy_until_;
+  }
+
+  /// When the resource next becomes free.
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+  [[nodiscard]] SimDuration total_busy() const { return total_busy_; }
+  [[nodiscard]] std::uint64_t jobs() const { return jobs_; }
+
+ private:
+  SimTime busy_until_ = 0;
+  SimDuration total_busy_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace cni::sim

@@ -1,0 +1,74 @@
+#include "sim/process.hpp"
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace cni::sim {
+
+SimThread::SimThread(Engine& engine, std::string name, Body body, SimTime start)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)), stack_(kStackBytes) {
+  CNI_CHECK(getcontext(&fiber_) == 0);
+  fiber_.uc_stack.ss_sp = stack_.data();
+  fiber_.uc_stack.ss_size = stack_.size();
+  fiber_.uc_link = nullptr;  // the trampoline always swaps back explicitly
+  // makecontext only passes ints; smuggle `this` through two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&fiber_, reinterpret_cast<void (*)()>(&SimThread::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+  engine_.schedule_at(start, [this] { resume_from_engine(); });
+}
+
+void SimThread::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<SimThread*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                            static_cast<std::uintptr_t>(lo));
+  try {
+    self->body_(*self);
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->yield_to_engine(State::kFinished);
+  CNI_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+void SimThread::resume_from_engine() {
+  CNI_CHECK_MSG(state_ != State::kFinished, "resumed a finished SimThread");
+  CNI_CHECK_MSG(state_ != State::kRunning, "resumed a running SimThread");
+  wake_pending_ = false;
+  state_ = State::kRunning;
+  CNI_CHECK(swapcontext(&engine_ctx_, &fiber_) == 0);
+  // The fiber yielded back (delay/block/finish).
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void SimThread::yield_to_engine(State s) {
+  state_ = s;
+  CNI_CHECK(swapcontext(&fiber_, &engine_ctx_) == 0);
+}
+
+void SimThread::delay(SimDuration dt) {
+  if (dt == 0) return;
+  engine_.schedule_after(dt, [this] { resume_from_engine(); });
+  yield_to_engine(State::kDelaying);
+}
+
+void SimThread::block() { yield_to_engine(State::kBlocked); }
+
+void SimThread::wake() { wake_at(engine_.now()); }
+
+void SimThread::wake_at(SimTime t) {
+  // Several same-instant events may try to unblock the same waiter; only the
+  // first wake schedules a resume.
+  if (wake_pending_) return;
+  CNI_CHECK_MSG(state_ == State::kBlocked,
+                "wake() requires the target to be parked in block()");
+  wake_pending_ = true;
+  engine_.schedule_at(t, [this] { resume_from_engine(); });
+}
+
+}  // namespace cni::sim

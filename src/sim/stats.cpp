@@ -1,0 +1,43 @@
+#include "sim/stats.hpp"
+
+namespace cni::sim {
+
+void NodeStats::add(const NodeStats& o) {
+  compute_cycles += o.compute_cycles;
+  synch_overhead_cycles += o.synch_overhead_cycles;
+  synch_delay_cycles += o.synch_delay_cycles;
+  mcache_tx_lookups += o.mcache_tx_lookups;
+  mcache_tx_hits += o.mcache_tx_hits;
+  mcache_rx_inserts += o.mcache_rx_inserts;
+  mcache_evictions += o.mcache_evictions;
+  mcache_snoop_updates += o.mcache_snoop_updates;
+  messages_sent += o.messages_sent;
+  bytes_sent += o.bytes_sent;
+  cells_sent += o.cells_sent;
+  dma_transfers += o.dma_transfers;
+  dma_bytes += o.dma_bytes;
+  host_interrupts += o.host_interrupts;
+  host_polls += o.host_polls;
+  read_faults += o.read_faults;
+  write_faults += o.write_faults;
+  pages_fetched += o.pages_fetched;
+  diffs_created += o.diffs_created;
+  diffs_applied += o.diffs_applied;
+  write_notices_received += o.write_notices_received;
+  lock_acquires += o.lock_acquires;
+  barriers += o.barriers;
+}
+
+double NodeStats::tx_hit_ratio_pct() const {
+  if (mcache_tx_lookups == 0) return 100.0;
+  return 100.0 * static_cast<double>(mcache_tx_hits) /
+         static_cast<double>(mcache_tx_lookups);
+}
+
+NodeStats StatsRegistry::total() const {
+  NodeStats t;
+  for (const auto& n : nodes_) t.add(n);
+  return t;
+}
+
+}  // namespace cni::sim

@@ -1,0 +1,46 @@
+// Lightweight invariant checking for the simulator.
+//
+// CNI_CHECK is always on (simulation correctness beats the last few percent
+// of speed); CNI_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <execinfo.h>
+#endif
+
+namespace cni::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CNI_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+#if defined(__linux__)
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, 2);
+#endif
+  std::abort();
+}
+
+}  // namespace cni::util
+
+#define CNI_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::cni::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CNI_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::cni::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CNI_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define CNI_DCHECK(expr) CNI_CHECK(expr)
+#endif

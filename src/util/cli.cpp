@@ -1,0 +1,90 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace cni::util {
+
+Cli::Cli(std::string program_description) : description_(std::move(program_description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help, bool default_value) {
+  options_[name] = Option{Kind::kFlag, help, default_value ? "1" : "0"};
+}
+
+void Cli::add_int(const std::string& name, const std::string& help, std::int64_t default_value) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void Cli::add_double(const std::string& name, const std::string& help, double default_value) {
+  options_[name] = Option{Kind::kDouble, help, std::to_string(default_value)};
+}
+
+void Cli::add_string(const std::string& name, const std::string& help, std::string default_value) {
+  options_[name] = Option{Kind::kString, help, std::move(default_value)};
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage_and_exit("");
+    if (arg.rfind("--", 0) != 0) usage_and_exit("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) usage_and_exit("unknown flag: --" + name);
+    if (!has_value) {
+      if (it->second.kind == Kind::kFlag) {
+        value = "1";
+      } else {
+        if (i + 1 >= argc) usage_and_exit("flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+bool Cli::flag(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kFlag).value;
+  return v != "0" && v != "false";
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(lookup(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(lookup(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+const Cli::Option& Cli::lookup(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  CNI_CHECK_MSG(it != options_.end(), "flag was never registered");
+  CNI_CHECK_MSG(it->second.kind == kind, "flag accessed with the wrong type");
+  return it->second;
+}
+
+void Cli::usage_and_exit(const std::string& error) const {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr, "%s\n\nflags:\n", description_.c_str());
+  for (const auto& [name, opt] : options_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(), opt.help.c_str(),
+                 opt.value.c_str());
+  }
+  std::exit(error.empty() ? 0 : 2);
+}
+
+}  // namespace cni::util

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports --flag=value, --flag value, and bare --flag booleans. Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cni::util {
+
+class Cli {
+ public:
+  /// Parses argv. On error prints the problem plus registered flags and
+  /// exits(2). Call add_* before parse.
+  Cli(std::string program_description);
+
+  void add_flag(const std::string& name, const std::string& help, bool default_value);
+  void add_int(const std::string& name, const std::string& help, std::int64_t default_value);
+  void add_double(const std::string& name, const std::string& help, double default_value);
+  void add_string(const std::string& name, const std::string& help, std::string default_value);
+
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual form; parsed on access
+  };
+
+  [[noreturn]] void usage_and_exit(const std::string& error) const;
+  const Option& lookup(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace cni::util

@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace cni::util {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+
+int read_env_level() {
+  const char* env = std::getenv("CNI_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  int v = std::atoi(env);
+  if (v < 0) v = 0;
+  if (v > 4) v = 4;
+  return v;
+}
+
+const char* prefix(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = read_env_level();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void Logger::set_level(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel lvl, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  flockfile(stderr);
+  std::fprintf(stderr, "[cni:%s] ", prefix(lvl));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  funlockfile(stderr);
+  va_end(args);
+}
+
+}  // namespace cni::util

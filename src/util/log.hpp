@@ -1,0 +1,32 @@
+// Minimal leveled logger.
+//
+// Simulation components log through here so that verbose traces can be turned
+// on per-run (CNI_LOG_LEVEL env var or Logger::set_level) without recompiling.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cni::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+class Logger {
+ public:
+  /// Global log level; reads CNI_LOG_LEVEL (0..4) from the environment once.
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+  /// printf-style log line with a level prefix; thread-safe via stdio locking.
+  static void log(LogLevel lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace cni::util
+
+#define CNI_LOG_ERROR(...) ::cni::util::Logger::log(::cni::util::LogLevel::kError, __VA_ARGS__)
+#define CNI_LOG_WARN(...) ::cni::util::Logger::log(::cni::util::LogLevel::kWarn, __VA_ARGS__)
+#define CNI_LOG_INFO(...) ::cni::util::Logger::log(::cni::util::LogLevel::kInfo, __VA_ARGS__)
+#define CNI_LOG_DEBUG(...) ::cni::util::Logger::log(::cni::util::LogLevel::kDebug, __VA_ARGS__)
+#define CNI_LOG_TRACE(...) ::cni::util::Logger::log(::cni::util::LogLevel::kTrace, __VA_ARGS__)

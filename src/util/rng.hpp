@@ -1,0 +1,40 @@
+// Deterministic random number generation.
+//
+// The simulator must be bit-reproducible across runs, so all randomness is
+// derived from explicitly seeded SplitMix64 streams — never from std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace cni::util {
+
+/// SplitMix64: tiny, fast, and passes BigCrush when used as a stream.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cni::util

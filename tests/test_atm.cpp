@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "atm/banyan.hpp"
+#include "atm/cell.hpp"
+#include "atm/fabric.hpp"
+#include "atm/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace cni::atm {
+namespace {
+
+TEST(CellGeometry, StandardAtm) {
+  CellGeometry g;
+  EXPECT_EQ(g.cells_for(0), 1u);
+  EXPECT_EQ(g.cells_for(48), 1u);
+  EXPECT_EQ(g.cells_for(49), 2u);
+  EXPECT_EQ(g.cells_for(4096), 86u);
+  EXPECT_EQ(g.wire_bytes(4096), 86u * 53);
+}
+
+TEST(CellGeometry, UnrestrictedRemovesTheTax) {
+  CellGeometry g(CellMode::kUnrestricted);
+  EXPECT_EQ(g.cells_for(4096), 1u);
+  EXPECT_EQ(g.wire_bytes(4096), 4096u + kCellHeaderBytes);
+  // The mythical network of Table 5 always beats standard ATM on the wire.
+  CellGeometry std_g;
+  for (std::uint64_t len : {1ull, 48ull, 100ull, 4096ull, 100000ull}) {
+    EXPECT_LE(g.wire_bytes(len), std_g.wire_bytes(len)) << len;
+  }
+}
+
+TEST(Frame, HeaderRoundTrip) {
+  struct Hdr {
+    std::uint32_t a;
+    std::uint16_t b;
+  };
+  std::vector<std::byte> body{std::byte{9}, std::byte{8}};
+  Frame f = Frame::make(1, 2, 7, Hdr{42, 3}, body);
+  EXPECT_EQ(f.size(), sizeof(Hdr) + 2);
+  const Hdr h = f.header<Hdr>();
+  EXPECT_EQ(h.a, 42u);
+  EXPECT_EQ(h.b, 3u);
+  EXPECT_EQ(f.payload.back(), std::byte{8});
+}
+
+TEST(Banyan, StagesAndPorts) {
+  BanyanSwitch sw(32, 500 * sim::kNanosecond);
+  EXPECT_EQ(sw.stages(), 5u);  // the paper's 32-port banyan
+  EXPECT_EQ(sw.ports(), 32u);
+}
+
+TEST(Banyan, UncontendedLatencyIsTheFabricLatency) {
+  BanyanSwitch sw(32, 500 * sim::kNanosecond);
+  const sim::SimTime out = sw.route(0, 3, 17, 1000);
+  EXPECT_EQ(out, 500u * sim::kNanosecond);
+  EXPECT_EQ(sw.contention_time(), 0u);
+}
+
+TEST(Banyan, SameOutputContends) {
+  BanyanSwitch sw(32, 500 * sim::kNanosecond);
+  const sim::SimDuration burst = 10 * sim::kMicrosecond;
+  const sim::SimTime a = sw.route(0, 5, 9, burst);
+  const sim::SimTime b = sw.route(0, 6, 9, burst);  // same destination port
+  EXPECT_GT(b, a);
+  EXPECT_GT(sw.contention_time(), 0u);
+}
+
+TEST(Banyan, DisjointPathsDoNotContend) {
+  BanyanSwitch sw(32, 500 * sim::kNanosecond);
+  const sim::SimDuration burst = 10 * sim::kMicrosecond;
+  const sim::SimTime a = sw.route(0, 0, 0, burst);
+  const sim::SimTime b = sw.route(0, 31, 31, burst);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sw.contention_time(), 0u);
+}
+
+// Property: a path's resources must be consistent — the final stage resource
+// is determined by the destination alone, and two flows to different
+// destinations never share it.
+class BanyanPathProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BanyanPathProperty, FinalStageKeyedByDestination) {
+  BanyanSwitch sw(GetParam(), 500 * sim::kNanosecond);
+  const std::uint32_t ports = sw.ports();
+  const std::uint32_t last = sw.stages() - 1;
+  for (std::uint32_t s1 = 0; s1 < ports; s1 += 3) {
+    for (std::uint32_t s2 = 0; s2 < ports; s2 += 5) {
+      for (std::uint32_t d = 0; d < ports; d += 3) {
+        EXPECT_EQ(sw.path_resource(s1, d, last), sw.path_resource(s2, d, last));
+      }
+    }
+  }
+  for (std::uint32_t d1 = 0; d1 < ports; ++d1) {
+    for (std::uint32_t d2 = d1 + 1; d2 < ports; ++d2) {
+      EXPECT_NE(sw.path_resource(0, d1, last), sw.path_resource(0, d2, last));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PortCounts, BanyanPathProperty, ::testing::Values(4, 8, 16, 32));
+
+FabricParams test_params() { return FabricParams{}; }
+
+TEST(Fabric, DeliversWithSerializationAndLatency) {
+  sim::Engine e;
+  Fabric fab(e, test_params());
+  bool delivered = false;
+  fab.attach(0, [](Frame) {});
+  fab.attach(1, [&](Frame f) {
+    delivered = true;
+    EXPECT_EQ(f.size(), 24u);
+  });
+  Frame f;
+  f.src = 0;
+  f.dst = 1;
+  f.payload.resize(24);
+  const DeliveryTiming t = fab.send(0, std::move(f));
+  EXPECT_EQ(t.cells, 1u);
+  // One cell: ~681.6 ns serialization + 500 ns switch + 2x150 ns propagation.
+  EXPECT_NEAR(static_cast<double>(t.arrival) / sim::kNanosecond, 681.6 + 500 + 300, 5.0);
+  e.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Fabric, PerPairFifoOrder) {
+  sim::Engine e;
+  Fabric fab(e, test_params());
+  std::vector<int> order;
+  fab.attach(0, [](Frame) {});
+  fab.attach(1, [&](Frame f) { order.push_back(static_cast<int>(f.vci)); });
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.src = 0;
+    f.dst = 1;
+    f.vci = static_cast<std::uint32_t>(i);
+    f.payload.resize(4096);
+    fab.send(0, std::move(f));
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Fabric, BiggerFramesArriveLater) {
+  sim::SimTime small_arrival = 0;
+  sim::SimTime big_arrival = 0;
+  for (int round = 0; round < 2; ++round) {
+    sim::Engine e;
+    Fabric fab(e, test_params());
+    fab.attach(0, [](Frame) {});
+    fab.attach(1, [](Frame) {});
+    Frame f;
+    f.src = 0;
+    f.dst = 1;
+    f.payload.resize(round == 0 ? 64 : 4096);
+    const DeliveryTiming t = fab.send(0, std::move(f));
+    (round == 0 ? small_arrival : big_arrival) = t.arrival;
+  }
+  EXPECT_LT(small_arrival, big_arrival);
+}
+
+TEST(Fabric, UplinkSerializesSuccessiveSends) {
+  sim::Engine e;
+  Fabric fab(e, test_params());
+  fab.attach(0, [](Frame) {});
+  fab.attach(1, [](Frame) {});
+  fab.attach(2, [](Frame) {});
+  Frame a;
+  a.src = 0;
+  a.dst = 1;
+  a.payload.resize(4096);
+  Frame b;
+  b.src = 0;
+  b.dst = 2;  // different destination, same uplink
+  b.payload.resize(4096);
+  const DeliveryTiming ta = fab.send(0, std::move(a));
+  const DeliveryTiming tb = fab.send(0, std::move(b));
+  EXPECT_GE(tb.first_bit_out, ta.first_bit_out);
+  EXPECT_GT(tb.arrival, ta.arrival);
+  EXPECT_EQ(fab.frames_sent(), 2u);
+  EXPECT_EQ(fab.cells_sent(), 2u * 86);
+}
+
+}  // namespace
+}  // namespace cni::atm

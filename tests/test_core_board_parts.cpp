@@ -1,0 +1,145 @@
+// Dual-ported memory, Application Device Channels, AIH segments and the
+// hybrid polling governor.
+#include <gtest/gtest.h>
+
+#include "core/adc.hpp"
+#include "core/aih.hpp"
+#include "core/dual_port.hpp"
+#include "core/poll_governor.hpp"
+
+namespace cni::core {
+namespace {
+
+TEST(DualPortMemory, AllocFreeCoalesce) {
+  DualPortMemory mem(1024);
+  auto a = mem.alloc(256, "a");
+  auto b = mem.alloc(256, "b");
+  auto c = mem.alloc(512, "c");
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(mem.used(), 1024u);
+  EXPECT_FALSE(mem.alloc(1, "overflow").has_value());
+  mem.free(*a);
+  mem.free(*b);
+  // Freed neighbours coalesce into one 512-byte hole.
+  EXPECT_TRUE(mem.alloc(512, "d").has_value());
+}
+
+TEST(DualPortMemory, FirstFitReusesEarliestHole) {
+  DualPortMemory mem(1024);
+  auto a = mem.alloc(128, "a");
+  mem.alloc(128, "b");
+  mem.free(*a);
+  auto c = mem.alloc(64, "c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);  // reused the first hole
+}
+
+TEST(DualPortMemory, AllocationCount) {
+  DualPortMemory mem(1024);
+  auto a = mem.alloc(100, "a");
+  mem.alloc(100, "b");
+  EXPECT_EQ(mem.allocation_count(), 2u);
+  mem.free(*a);
+  EXPECT_EQ(mem.allocation_count(), 1u);
+}
+
+TEST(DescriptorRing, PushPopWrapAround) {
+  DescriptorRing ring(4);
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(ring.push(AdcDescriptor{0x1000 + i, 64, 0, 0}));
+    }
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push(AdcDescriptor{}));
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      auto d = ring.pop();
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->buffer_va, 0x1000 + i);
+    }
+    EXPECT_FALSE(ring.pop().has_value());
+  }
+}
+
+TEST(AdcChannel, ProtectionVerifiedAtEnqueueOnly) {
+  DualPortMemory mem(1 << 20);
+  auto ch = AdcChannel::open(mem, 1, 0x10000, 0x1000, 16);
+  ASSERT_TRUE(ch.has_value());
+  // In-region buffer accepted.
+  EXPECT_TRUE(ch->enqueue_tx(AdcDescriptor{0x10000, 0x100, 0, 0}));
+  // Out-of-region buffer rejected — the protection check of paper §2.1.
+  EXPECT_FALSE(ch->enqueue_tx(AdcDescriptor{0x20000, 0x100, 0, 0}));
+  // Straddling the region end rejected.
+  EXPECT_FALSE(ch->enqueue_tx(AdcDescriptor{0x10F80, 0x100, 0, 0}));
+  EXPECT_EQ(ch->protection_rejects(), 2u);
+}
+
+TEST(AdcChannel, TripletQueuesAreIndependent) {
+  DualPortMemory mem(1 << 20);
+  auto ch = AdcChannel::open(mem, 1, 0, ~0ull, 8);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_TRUE(ch->post_receive_buffer(AdcDescriptor{0x1000, 4096, 0, 0}));
+  EXPECT_TRUE(ch->enqueue_tx(AdcDescriptor{0x2000, 64, 0, 0}));
+  auto rx_buf = ch->claim_receive_buffer();
+  ASSERT_TRUE(rx_buf.has_value());
+  EXPECT_EQ(rx_buf->buffer_va, 0x1000u);
+  EXPECT_TRUE(ch->complete_receive(*rx_buf));
+  auto done = ch->poll_receive();
+  ASSERT_TRUE(done.has_value());
+  auto tx = ch->dequeue_tx();
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->buffer_va, 0x2000u);
+}
+
+TEST(AdcChannel, OpenFailsWhenBoardMemoryExhausted) {
+  DualPortMemory mem(64);  // far too small for three rings
+  EXPECT_FALSE(AdcChannel::open(mem, 1, 0, ~0ull, 16).has_value());
+}
+
+TEST(AihRegion, InstallRemoveAccounting) {
+  DualPortMemory mem(64 * 1024);
+  AihRegion aih(mem);
+  auto seg = aih.install(7, 16 * 1024);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_TRUE(aih.resident(7));
+  EXPECT_EQ(aih.resident_bytes(), 16u * 1024);
+  EXPECT_EQ(mem.used(), 16u * 1024);
+  aih.remove(7);
+  EXPECT_FALSE(aih.resident(7));
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(AihRegion, NoVirtualMemoryMeansWholeHandlerMustFit) {
+  // Paper §2.3: no paging on the board — an oversized handler fails loudly.
+  DualPortMemory mem(8 * 1024);
+  AihRegion aih(mem);
+  EXPECT_FALSE(aih.install(1, 16 * 1024).has_value());
+}
+
+TEST(PollGovernor, FirstArrivalInterrupts) {
+  PollGovernor g(1 * sim::kMillisecond);
+  EXPECT_TRUE(g.on_arrival(0));
+}
+
+TEST(PollGovernor, HighRateUsesPolling) {
+  PollGovernor g(1 * sim::kMillisecond);
+  g.on_arrival(0);
+  std::uint64_t interrupts = 0;
+  for (int i = 1; i <= 100; ++i) {
+    if (g.on_arrival(static_cast<sim::SimTime>(i) * 10 * sim::kMicrosecond)) ++interrupts;
+  }
+  EXPECT_EQ(interrupts, 0u);  // 10 us gaps: the poll loop keeps up
+  EXPECT_EQ(g.polled(), 100u);
+}
+
+TEST(PollGovernor, LongIdleGapRaisesInterrupt) {
+  PollGovernor g(1 * sim::kMillisecond);
+  g.on_arrival(0);
+  for (int i = 1; i <= 10; ++i) {
+    g.on_arrival(static_cast<sim::SimTime>(i) * 10 * sim::kMicrosecond);
+  }
+  // After 50 ms of silence the host has stopped polling.
+  EXPECT_TRUE(g.on_arrival(50 * sim::kMillisecond));
+}
+
+}  // namespace
+}  // namespace cni::core

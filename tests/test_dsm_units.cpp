@@ -1,0 +1,191 @@
+// DSM building blocks: vector clocks, wire format, intervals, diffs.
+#include <gtest/gtest.h>
+
+#include "dsm/diff.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/vector_clock.hpp"
+#include "dsm/wire_format.hpp"
+
+namespace cni::dsm {
+namespace {
+
+TEST(VectorClock, DominationAndConcurrency) {
+  VectorClock a(3);
+  VectorClock b(3);
+  EXPECT_TRUE(a.dominated_by(b));  // equal clocks dominate each other
+  b.advance(1);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+  a.advance(0);
+  EXPECT_TRUE(a.concurrent_with(b));
+}
+
+TEST(VectorClock, MergeIsPointwiseMax) {
+  VectorClock a(3);
+  a.set(0, 5);
+  a.set(2, 1);
+  VectorClock b(3);
+  b.set(1, 7);
+  b.set(2, 3);
+  a.merge(b);
+  EXPECT_EQ(a[0], 5u);
+  EXPECT_EQ(a[1], 7u);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(WireFormat, RoundTrip) {
+  ByteWriter w;
+  w.u32(42);
+  w.u64(0xdeadbeefcafeULL);
+  w.bytes(std::vector<std::byte>{std::byte{1}, std::byte{2}});
+  VectorClock vc(2);
+  vc.set(1, 9);
+  w.clock(vc);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.bytes(), (std::vector<std::byte>{std::byte{1}, std::byte{2}}));
+  EXPECT_EQ(r.clock(), vc);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireFormat, TruncatedPayloadAborts) {
+  ByteWriter w;
+  w.u32(1);
+  ByteReader r(w.data());
+  r.u32();
+  EXPECT_DEATH(r.u64(), "truncated");
+}
+
+TEST(Interval, SerializeRoundTrip) {
+  Interval iv;
+  iv.writer = 3;
+  iv.index = 17;
+  iv.vc = VectorClock(4);
+  iv.vc.set(3, 17);
+  iv.pages = {5, 9, 100};
+  ByteWriter w;
+  iv.serialize(w);
+  ByteReader r(w.data());
+  const Interval out = Interval::deserialize(r);
+  EXPECT_EQ(out.writer, 3u);
+  EXPECT_EQ(out.index, 17u);
+  EXPECT_EQ(out.vc, iv.vc);
+  EXPECT_EQ(out.pages, iv.pages);
+}
+
+Interval make_interval(std::uint32_t w, std::uint32_t i) {
+  Interval iv;
+  iv.writer = w;
+  iv.index = i;
+  iv.vc = VectorClock(4);
+  iv.vc.set(w, i);
+  iv.pages = {static_cast<PageId>(i)};
+  return iv;
+}
+
+TEST(IntervalStore, InsertDedupsAndCounts) {
+  IntervalStore s;
+  EXPECT_TRUE(s.insert(make_interval(0, 1)));
+  EXPECT_FALSE(s.insert(make_interval(0, 1)));
+  EXPECT_TRUE(s.insert(make_interval(0, 2)));
+  EXPECT_TRUE(s.insert(make_interval(1, 1)));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(0, 2));
+  EXPECT_FALSE(s.contains(0, 3));
+}
+
+TEST(IntervalStore, GapAborts) {
+  IntervalStore s;
+  s.insert(make_interval(0, 1));
+  EXPECT_DEATH(s.insert(make_interval(0, 3)), "gap");
+}
+
+TEST(IntervalStore, UnseenByReturnsSuffixes) {
+  IntervalStore s;
+  for (std::uint32_t i = 1; i <= 5; ++i) s.insert(make_interval(0, i));
+  for (std::uint32_t i = 1; i <= 2; ++i) s.insert(make_interval(1, i));
+  VectorClock seen(4);
+  seen.set(0, 3);
+  const auto unseen = s.unseen_by(seen);
+  ASSERT_EQ(unseen.size(), 4u);  // writer 0: 4,5; writer 1: 1,2
+  EXPECT_EQ(unseen[0]->index, 4u);
+  EXPECT_EQ(unseen[1]->index, 5u);
+  EXPECT_EQ(unseen[2]->writer, 1u);
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(Diff, CapturesChangedRuns) {
+  const auto twin = bytes_of("aaaaaaaaaaaaaaaaaaaaaaaa");
+  auto cur = twin;
+  cur[2] = std::byte{'X'};
+  cur[3] = std::byte{'Y'};
+  cur[20] = std::byte{'Z'};
+  const Diff d = make_diff(1, VectorClock(2), twin, cur);
+  ASSERT_EQ(d.runs.size(), 2u);
+  EXPECT_EQ(d.runs[0].offset, 2u);
+  EXPECT_EQ(d.runs[0].bytes.size(), 2u);
+  EXPECT_EQ(d.runs[1].offset, 20u);
+}
+
+TEST(Diff, NearbyRunsCoalesce) {
+  const auto twin = bytes_of("aaaaaaaaaaaaaaaaaaaaaaaa");
+  auto cur = twin;
+  cur[2] = std::byte{'X'};
+  cur[6] = std::byte{'Y'};  // 3 equal bytes apart: joined into one run
+  const Diff d = make_diff(1, VectorClock(2), twin, cur);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.runs[0].offset, 2u);
+  EXPECT_EQ(d.runs[0].bytes.size(), 5u);
+}
+
+TEST(Diff, ApplyReconstructsCurrent) {
+  const auto twin = bytes_of("the quick brown fox jumps over the lazy dog");
+  auto cur = twin;
+  cur[4] = std::byte{'Q'};
+  cur[10] = std::byte{'B'};
+  cur[43] = std::byte{'G'};
+  const Diff d = make_diff(0, VectorClock(2), twin, cur);
+  auto replay = twin;
+  apply_diff(d, replay);
+  EXPECT_EQ(replay, cur);
+}
+
+TEST(Diff, EmptyWhenIdentical) {
+  const auto twin = bytes_of("same");
+  EXPECT_TRUE(make_diff(0, VectorClock(1), twin, twin).empty());
+}
+
+TEST(Diff, SerializeRoundTrip) {
+  const auto twin = bytes_of("0123456789abcdef");
+  auto cur = twin;
+  cur[0] = std::byte{'Z'};
+  cur[15] = std::byte{'Q'};
+  Diff d = make_diff(2, VectorClock(3), twin, cur);
+  ByteWriter w;
+  d.serialize(w);
+  ByteReader r(w.data());
+  const Diff out = Diff::deserialize(r);
+  EXPECT_EQ(out.writer, 2u);
+  ASSERT_EQ(out.runs.size(), d.runs.size());
+  auto replay = twin;
+  apply_diff(out, replay);
+  EXPECT_EQ(replay, cur);
+}
+
+TEST(Diff, WholePageChange) {
+  std::vector<std::byte> twin(4096, std::byte{0});
+  std::vector<std::byte> cur(4096, std::byte{1});
+  const Diff d = make_diff(0, VectorClock(1), twin, cur);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.runs[0].bytes.size(), 4096u);
+  EXPECT_GT(d.payload_bytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace cni::dsm

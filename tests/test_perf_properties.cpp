@@ -1,0 +1,153 @@
+// Cross-cutting performance properties the paper's evaluation rests on,
+// checked as parameterized sweeps rather than absolute numbers.
+#include <gtest/gtest.h>
+
+#include "apps/cholesky.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/runner.hpp"
+#include "apps/water.hpp"
+
+namespace cni::apps {
+namespace {
+
+using cluster::BoardKind;
+
+// ---- Property: the CNI never loses to the standard NIC ----
+
+class CniWinsSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CniWinsSweep, JacobiAcrossProcessorCounts) {
+  const std::uint32_t p = GetParam();
+  JacobiConfig cfg{48, 4, 16};
+  const RunResult cni = run_jacobi(make_params(BoardKind::kCni, p), cfg, nullptr);
+  const RunResult std_ = run_jacobi(make_params(BoardKind::kStandard, p), cfg, nullptr);
+  EXPECT_LE(cni.elapsed, std_.elapsed);
+}
+
+TEST_P(CniWinsSweep, WaterAcrossProcessorCounts) {
+  const std::uint32_t p = GetParam();
+  WaterConfig cfg{27, 1};
+  const RunResult cni = run_water(make_params(BoardKind::kCni, p), cfg, nullptr);
+  const RunResult std_ = run_water(make_params(BoardKind::kStandard, p), cfg, nullptr);
+  EXPECT_LE(cni.elapsed, std_.elapsed);
+}
+
+TEST_P(CniWinsSweep, CholeskyAcrossProcessorCounts) {
+  const std::uint32_t p = GetParam();
+  CholeskyConfig cfg{96, 12, 2, 3, 512, 2000};
+  const RunResult cni = run_cholesky(make_params(BoardKind::kCni, p), cfg, nullptr);
+  const RunResult std_ = run_cholesky(make_params(BoardKind::kStandard, p), cfg, nullptr);
+  EXPECT_LE(cni.elapsed, std_.elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CniWinsSweep, ::testing::Values(2, 3, 4, 8));
+
+// ---- Property: unrestricted cell size never hurts (Table 5's premise) ----
+
+class CellModeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CellModeSweep, UnrestrictedCellsHelp) {
+  JacobiConfig cfg{48, 4, 16};
+  auto params = make_params(BoardKind::kCni, GetParam());
+  const RunResult atm = run_jacobi(params, cfg, nullptr);
+  params.fabric.cell_mode = atm::CellMode::kUnrestricted;
+  const RunResult unr = run_jacobi(params, cfg, nullptr);
+  EXPECT_LE(unr.elapsed, atm.elapsed);
+  EXPECT_LT(unr.totals.cells_sent, atm.totals.cells_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CellModeSweep, ::testing::Values(2, 4));
+
+// ---- Property: a larger Message Cache never lowers the hit ratio ----
+
+TEST(McacheSizeProperty, HitRatioMonotoneInCacheSize) {
+  CholeskyConfig cfg{192, 24, 2, 3, 1024, 2000};
+  double prev = -1;
+  for (std::uint64_t kb : {8ull, 32ull, 128ull, 512ull}) {
+    const RunResult r =
+        run_cholesky(make_params(BoardKind::kCni, 4, 4096, kb * 1024), cfg, nullptr);
+    EXPECT_GE(r.hit_ratio_pct + 1.0, prev) << kb;  // monotone up to 1% noise
+    prev = r.hit_ratio_pct;
+  }
+}
+
+// ---- Property: bigger pages, fewer-but-bigger transfers ----
+
+TEST(PageSizeProperty, LargerPagesMoveMoreBytesInFewerMessages) {
+  // A 128x128 grid has 1 KB rows: at 512-byte pages a boundary row spans two
+  // pages (two fetch transactions); at 8 KB one page covers it, so the
+  // message count drops. (Byte volume stays roughly flat: steady-state
+  // traffic is diffs, whose size tracks the data modified, not the page.)
+  JacobiConfig cfg{128, 4, 16};
+  const RunResult small =
+      run_jacobi(make_params(BoardKind::kCni, 4, 512), cfg, nullptr);
+  const RunResult large =
+      run_jacobi(make_params(BoardKind::kCni, 4, 8192), cfg, nullptr);
+  EXPECT_GT(small.totals.messages_sent, large.totals.messages_sent);
+}
+
+// ---- Property: CNI keeps host interrupts off the critical path ----
+
+TEST(InterruptProperty, CniInterruptsFarBelowStandard) {
+  WaterConfig cfg{27, 1};
+  const RunResult cni = run_water(make_params(BoardKind::kCni, 4), cfg, nullptr);
+  const RunResult std_ = run_water(make_params(BoardKind::kStandard, 4), cfg, nullptr);
+  EXPECT_LT(cni.totals.host_interrupts * 10, std_.totals.host_interrupts);
+}
+
+// ---- Property: write-back vs write-through hosts both work (paper §2.2) ----
+
+TEST(CachePolicyProperty, WriteThroughHostStillCorrectAndSnoops) {
+  JacobiConfig cfg{32, 3, 16};
+  auto params = make_params(BoardKind::kCni, 4);
+  params.cache.write_back = false;
+  double sum = 0;
+  const RunResult r = run_jacobi(params, cfg, &sum);
+  EXPECT_DOUBLE_EQ(sum, jacobi_reference_checksum(cfg));
+  // Write-through: every store reaches the bus, so the snooper sees plenty.
+  EXPECT_GT(r.totals.mcache_snoop_updates, 0u);
+}
+
+// ---- Property: overhead accounting identity (Tables 2-4 are well-formed) ----
+
+class AccountingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AccountingSweep, CategoriesSumToElapsed) {
+  JacobiConfig cfg{48, 3, 16};
+  const RunResult r =
+      run_jacobi(make_params(BoardKind::kCni, GetParam()), cfg, nullptr);
+  const double total_cycles = r.total_sum_e9() * 1e9 * GetParam();
+  const double elapsed_total =
+      static_cast<double>(r.elapsed_cycles) * GetParam();
+  // Per-node compute+overhead+delay sums to that node's finish time; summed
+  // and averaged it cannot exceed the global elapsed time.
+  EXPECT_LE(total_cycles, elapsed_total * 1.001);
+  EXPECT_GT(total_cycles, elapsed_total * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, AccountingSweep, ::testing::Values(1, 2, 4, 6));
+
+// ---- Determinism across the whole matrix of configurations ----
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsIdenticalResults) {
+  const auto [procs, is_cni] = GetParam();
+  const BoardKind kind = is_cni ? BoardKind::kCni : BoardKind::kStandard;
+  WaterConfig cfg{27, 1};
+  const RunResult a = run_water(make_params(kind, procs), cfg, nullptr);
+  const RunResult b = run_water(make_params(kind, procs), cfg, nullptr);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.totals.messages_sent, b.totals.messages_sent);
+  EXPECT_EQ(a.totals.bytes_sent, b.totals.bytes_sent);
+  EXPECT_EQ(a.totals.read_faults, b.totals.read_faults);
+  EXPECT_EQ(a.totals.mcache_tx_hits, b.totals.mcache_tx_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DeterminismSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 5u),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace cni::apps

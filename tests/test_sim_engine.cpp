@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace cni::sim {
+namespace {
+
+TEST(Clock, PeriodsFromTable1) {
+  EXPECT_EQ(Clock(166'000'000).period(), 6024u);   // 166 MHz CPU
+  EXPECT_EQ(Clock(25'000'000).period(), 40000u);   // 25 MHz bus
+  EXPECT_EQ(Clock(33'000'000).period(), 30303u);   // 33 MHz NIC
+}
+
+TEST(Clock, CycleConversionsRoundTrip) {
+  const Clock c(166'000'000);
+  EXPECT_EQ(c.cycles(1000), 6'024'000u);
+  EXPECT_EQ(c.to_cycles(c.cycles(1000)), 1000u);
+  EXPECT_EQ(c.to_cycles_ceil(c.cycles(1000) + 1), 1001u);
+}
+
+TEST(Time, TransmissionTime) {
+  // One 53-byte ATM cell at 622.08 Mb/s is ~681.6 ns.
+  const SimDuration d = transmission_time(53 * 8, util::kSts12BitsPerSec);
+  EXPECT_NEAR(static_cast<double>(d), 681.6 * kNanosecond, 1.0 * kNanosecond);
+  EXPECT_EQ(transmission_time(0, util::kSts12BitsPerSec), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+TEST(Engine, SameInstantIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1, [&] {
+    ++fired;
+    e.schedule_after(1, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 2u);
+}
+
+TEST(Engine, CancelSuppressesEvent) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilLeavesLaterEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(30, [&] { ++fired; });
+  e.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 20u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SchedulingInPastAborts) {
+  Engine e;
+  e.schedule_at(10, [&] {
+    EXPECT_DEATH(e.schedule_at(5, [] {}), "past");
+  });
+  e.run();
+}
+
+TEST(ServiceQueue, BackToBackJobsQueue) {
+  ServiceQueue q;
+  EXPECT_EQ(q.occupy(100, 50), 150u);
+  // Requested while busy: starts when the queue drains.
+  EXPECT_EQ(q.occupy(120, 50), 200u);
+  // Requested after idle: starts immediately.
+  EXPECT_EQ(q.occupy(300, 10), 310u);
+  EXPECT_EQ(q.jobs(), 3u);
+  EXPECT_EQ(q.total_busy(), 110u);
+}
+
+TEST(ServiceQueue, NoDoubleCountingOfWait) {
+  // Regression: a queued job must not extend the busy horizon by its wait
+  // time (that bug made closed-loop traffic diverge quadratically).
+  ServiceQueue q;
+  q.occupy(0, 100);
+  for (int i = 1; i <= 10; ++i) {
+    const SimTime done = q.occupy(0, 100);
+    EXPECT_EQ(done, static_cast<SimTime>(100 * (i + 1)));
+  }
+}
+
+}  // namespace
+}  // namespace cni::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace cni::util {
+namespace {
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(0u, 48u), 0u);
+  EXPECT_EQ(ceil_div(1u, 48u), 1u);
+  EXPECT_EQ(ceil_div(48u, 48u), 1u);
+  EXPECT_EQ(ceil_div(49u, 48u), 2u);
+  EXPECT_EQ(ceil_div(4096u, 48u), 86u);  // the paper's 4 KB page in ATM cells
+}
+
+TEST(Units, AlignAndPow2) {
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(align_down(4097, 4096), 4096u);
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ(32_KiB, 32768u);
+  EXPECT_EQ(1_MiB, 1048576u);
+}
+
+TEST(Rng, DeterministicStream) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInRange) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double(-1.0, 1.0);
+    EXPECT_GE(d, -1.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Table, FormatsAligned) {
+  Table t("Demo");
+  t.set_header({"name", "x"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Numeric column right-aligned: " 1" and "22" line up.
+  EXPECT_NE(s.find(" 1\n"), std::string::npos);
+  EXPECT_NE(s.find("22\n"), std::string::npos);
+}
+
+TEST(Table, DoubleRows) {
+  Table t("D");
+  t.add_row("row", {1.5, 100.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(Table, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5000, 4), "1.5");
+  EXPECT_EQ(format_double(100.0, 2), "100");
+  EXPECT_EQ(format_double(0.054, 4), "0.054");
+  EXPECT_EQ(format_double(13.31, 2), "13.31");
+}
+
+TEST(Cli, ParsesTypes) {
+  Cli cli("test");
+  cli.add_flag("verbose", "v", false);
+  cli.add_int("n", "count", 10);
+  cli.add_double("ratio", "r", 0.5);
+  cli.add_string("name", "s", "x");
+  const char* argv[] = {"prog", "--verbose", "--n=42", "--ratio", "1.25", "--name=abc"};
+  cli.parse(6, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 1.25);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, DefaultsHold) {
+  Cli cli("test");
+  cli.add_int("n", "count", 10);
+  const char* argv[] = {"prog"};
+  cli.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n"), 10);
+}
+
+}  // namespace
+}  // namespace cni::util
