@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_jacobi_speedup_128.dir/fig02_jacobi_speedup_128.cpp.o"
+  "CMakeFiles/fig02_jacobi_speedup_128.dir/fig02_jacobi_speedup_128.cpp.o.d"
+  "fig02_jacobi_speedup_128"
+  "fig02_jacobi_speedup_128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_jacobi_speedup_128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_jacobi_speedup_128.
+# This may be replaced when dependencies are built.

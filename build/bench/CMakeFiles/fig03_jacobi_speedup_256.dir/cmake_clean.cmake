@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_jacobi_speedup_256.dir/fig03_jacobi_speedup_256.cpp.o"
+  "CMakeFiles/fig03_jacobi_speedup_256.dir/fig03_jacobi_speedup_256.cpp.o.d"
+  "fig03_jacobi_speedup_256"
+  "fig03_jacobi_speedup_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_jacobi_speedup_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_jacobi_speedup_256.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_jacobi_speedup_1024.dir/fig04_jacobi_speedup_1024.cpp.o"
+  "CMakeFiles/fig04_jacobi_speedup_1024.dir/fig04_jacobi_speedup_1024.cpp.o.d"
+  "fig04_jacobi_speedup_1024"
+  "fig04_jacobi_speedup_1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_jacobi_speedup_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

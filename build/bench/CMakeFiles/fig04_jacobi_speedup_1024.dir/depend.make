@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_jacobi_speedup_1024.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_jacobi_pagesize.dir/fig05_jacobi_pagesize.cpp.o"
+  "CMakeFiles/fig05_jacobi_pagesize.dir/fig05_jacobi_pagesize.cpp.o.d"
+  "fig05_jacobi_pagesize"
+  "fig05_jacobi_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_jacobi_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_jacobi_pagesize.
+# This may be replaced when dependencies are built.

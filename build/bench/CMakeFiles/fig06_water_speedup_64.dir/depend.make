@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_water_speedup_64.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_water_speedup_216.dir/fig07_water_speedup_216.cpp.o"
+  "CMakeFiles/fig07_water_speedup_216.dir/fig07_water_speedup_216.cpp.o.d"
+  "fig07_water_speedup_216"
+  "fig07_water_speedup_216.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_water_speedup_216.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_water_speedup_343.dir/fig08_water_speedup_343.cpp.o"
+  "CMakeFiles/fig08_water_speedup_343.dir/fig08_water_speedup_343.cpp.o.d"
+  "fig08_water_speedup_343"
+  "fig08_water_speedup_343.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_water_speedup_343.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

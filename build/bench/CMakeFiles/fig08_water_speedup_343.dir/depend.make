@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_water_speedup_343.
+# This may be replaced when dependencies are built.

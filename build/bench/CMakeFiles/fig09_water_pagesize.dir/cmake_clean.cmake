@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_water_pagesize.dir/fig09_water_pagesize.cpp.o"
+  "CMakeFiles/fig09_water_pagesize.dir/fig09_water_pagesize.cpp.o.d"
+  "fig09_water_pagesize"
+  "fig09_water_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_water_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cholesky_bcsstk14.dir/fig10_cholesky_bcsstk14.cpp.o"
+  "CMakeFiles/fig10_cholesky_bcsstk14.dir/fig10_cholesky_bcsstk14.cpp.o.d"
+  "fig10_cholesky_bcsstk14"
+  "fig10_cholesky_bcsstk14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cholesky_bcsstk14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

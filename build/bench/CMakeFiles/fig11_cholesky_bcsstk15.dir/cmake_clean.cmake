@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cholesky_bcsstk15.dir/fig11_cholesky_bcsstk15.cpp.o"
+  "CMakeFiles/fig11_cholesky_bcsstk15.dir/fig11_cholesky_bcsstk15.cpp.o.d"
+  "fig11_cholesky_bcsstk15"
+  "fig11_cholesky_bcsstk15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cholesky_bcsstk15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cholesky_pagesize.dir/fig12_cholesky_pagesize.cpp.o"
+  "CMakeFiles/fig12_cholesky_pagesize.dir/fig12_cholesky_pagesize.cpp.o.d"
+  "fig12_cholesky_pagesize"
+  "fig12_cholesky_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cholesky_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_latency_micro.dir/fig14_latency_micro.cpp.o"
+  "CMakeFiles/fig14_latency_micro.dir/fig14_latency_micro.cpp.o.d"
+  "fig14_latency_micro"
+  "fig14_latency_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_latency_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_adc.dir/micro_adc.cpp.o"
+  "CMakeFiles/micro_adc.dir/micro_adc.cpp.o.d"
+  "micro_adc"
+  "micro_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mcache.dir/micro_mcache.cpp.o"
+  "CMakeFiles/micro_mcache.dir/micro_mcache.cpp.o.d"
+  "micro_mcache"
+  "micro_mcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pathfinder.dir/micro_pathfinder.cpp.o"
+  "CMakeFiles/micro_pathfinder.dir/micro_pathfinder.cpp.o.d"
+  "micro_pathfinder"
+  "micro_pathfinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pathfinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_params.dir/tab01_params.cpp.o"
+  "CMakeFiles/tab01_params.dir/tab01_params.cpp.o.d"
+  "tab01_params"
+  "tab01_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_jacobi_overhead.dir/tab02_jacobi_overhead.cpp.o"
+  "CMakeFiles/tab02_jacobi_overhead.dir/tab02_jacobi_overhead.cpp.o.d"
+  "tab02_jacobi_overhead"
+  "tab02_jacobi_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_jacobi_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_water_overhead.dir/tab03_water_overhead.cpp.o"
+  "CMakeFiles/tab03_water_overhead.dir/tab03_water_overhead.cpp.o.d"
+  "tab03_water_overhead"
+  "tab03_water_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_water_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_cholesky_overhead.dir/tab04_cholesky_overhead.cpp.o"
+  "CMakeFiles/tab04_cholesky_overhead.dir/tab04_cholesky_overhead.cpp.o.d"
+  "tab04_cholesky_overhead"
+  "tab04_cholesky_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_cholesky_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

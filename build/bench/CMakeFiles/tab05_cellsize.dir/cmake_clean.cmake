@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_cellsize.dir/tab05_cellsize.cpp.o"
+  "CMakeFiles/tab05_cellsize.dir/tab05_cellsize.cpp.o.d"
+  "tab05_cellsize"
+  "tab05_cellsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_cellsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_stencil.dir/dsm_stencil.cpp.o"
+  "CMakeFiles/dsm_stencil.dir/dsm_stencil.cpp.o.d"
+  "dsm_stencil"
+  "dsm_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

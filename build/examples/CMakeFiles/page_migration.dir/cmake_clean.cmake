@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_migration.dir/page_migration.cpp.o"
+  "CMakeFiles/page_migration.dir/page_migration.cpp.o.d"
+  "page_migration"
+  "page_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/cni_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cni_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/cni_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/cni_apps.dir/water.cpp.o"
+  "CMakeFiles/cni_apps.dir/water.cpp.o.d"
+  "libcni_apps.a"
+  "libcni_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_atm.dir/banyan.cpp.o"
+  "CMakeFiles/cni_atm.dir/banyan.cpp.o.d"
+  "CMakeFiles/cni_atm.dir/fabric.cpp.o"
+  "CMakeFiles/cni_atm.dir/fabric.cpp.o.d"
+  "libcni_atm.a"
+  "libcni_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcni_atm.a"
+)

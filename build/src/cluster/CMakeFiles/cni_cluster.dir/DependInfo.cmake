@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/cni_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/cni_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/host.cpp" "src/cluster/CMakeFiles/cni_cluster.dir/host.cpp.o" "gcc" "src/cluster/CMakeFiles/cni_cluster.dir/host.cpp.o.d"
+  "/root/repo/src/cluster/params.cpp" "src/cluster/CMakeFiles/cni_cluster.dir/params.cpp.o" "gcc" "src/cluster/CMakeFiles/cni_cluster.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cni_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/cni_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cni_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cni_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/cni_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/cni_cluster.dir/host.cpp.o"
+  "CMakeFiles/cni_cluster.dir/host.cpp.o.d"
+  "CMakeFiles/cni_cluster.dir/params.cpp.o"
+  "CMakeFiles/cni_cluster.dir/params.cpp.o.d"
+  "libcni_cluster.a"
+  "libcni_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

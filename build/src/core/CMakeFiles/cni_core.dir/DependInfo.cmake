@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adc.cpp" "src/core/CMakeFiles/cni_core.dir/adc.cpp.o" "gcc" "src/core/CMakeFiles/cni_core.dir/adc.cpp.o.d"
+  "/root/repo/src/core/cni_board.cpp" "src/core/CMakeFiles/cni_core.dir/cni_board.cpp.o" "gcc" "src/core/CMakeFiles/cni_core.dir/cni_board.cpp.o.d"
+  "/root/repo/src/core/dual_port.cpp" "src/core/CMakeFiles/cni_core.dir/dual_port.cpp.o" "gcc" "src/core/CMakeFiles/cni_core.dir/dual_port.cpp.o.d"
+  "/root/repo/src/core/message_cache.cpp" "src/core/CMakeFiles/cni_core.dir/message_cache.cpp.o" "gcc" "src/core/CMakeFiles/cni_core.dir/message_cache.cpp.o.d"
+  "/root/repo/src/core/pathfinder.cpp" "src/core/CMakeFiles/cni_core.dir/pathfinder.cpp.o" "gcc" "src/core/CMakeFiles/cni_core.dir/pathfinder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nic/CMakeFiles/cni_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cni_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cni_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

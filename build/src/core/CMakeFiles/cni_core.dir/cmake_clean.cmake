@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_core.dir/adc.cpp.o"
+  "CMakeFiles/cni_core.dir/adc.cpp.o.d"
+  "CMakeFiles/cni_core.dir/cni_board.cpp.o"
+  "CMakeFiles/cni_core.dir/cni_board.cpp.o.d"
+  "CMakeFiles/cni_core.dir/dual_port.cpp.o"
+  "CMakeFiles/cni_core.dir/dual_port.cpp.o.d"
+  "CMakeFiles/cni_core.dir/message_cache.cpp.o"
+  "CMakeFiles/cni_core.dir/message_cache.cpp.o.d"
+  "CMakeFiles/cni_core.dir/pathfinder.cpp.o"
+  "CMakeFiles/cni_core.dir/pathfinder.cpp.o.d"
+  "libcni_core.a"
+  "libcni_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

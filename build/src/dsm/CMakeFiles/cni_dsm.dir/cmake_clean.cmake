@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_dsm.dir/diff.cpp.o"
+  "CMakeFiles/cni_dsm.dir/diff.cpp.o.d"
+  "CMakeFiles/cni_dsm.dir/runtime.cpp.o"
+  "CMakeFiles/cni_dsm.dir/runtime.cpp.o.d"
+  "CMakeFiles/cni_dsm.dir/system.cpp.o"
+  "CMakeFiles/cni_dsm.dir/system.cpp.o.d"
+  "libcni_dsm.a"
+  "libcni_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_mem.dir/cache.cpp.o"
+  "CMakeFiles/cni_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/cni_mem.dir/tlb.cpp.o"
+  "CMakeFiles/cni_mem.dir/tlb.cpp.o.d"
+  "libcni_mem.a"
+  "libcni_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

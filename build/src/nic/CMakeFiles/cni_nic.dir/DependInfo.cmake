@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/osiris.cpp" "src/nic/CMakeFiles/cni_nic.dir/osiris.cpp.o" "gcc" "src/nic/CMakeFiles/cni_nic.dir/osiris.cpp.o.d"
+  "/root/repo/src/nic/standard_nic.cpp" "src/nic/CMakeFiles/cni_nic.dir/standard_nic.cpp.o" "gcc" "src/nic/CMakeFiles/cni_nic.dir/standard_nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cni_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cni_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_nic.dir/osiris.cpp.o"
+  "CMakeFiles/cni_nic.dir/osiris.cpp.o.d"
+  "CMakeFiles/cni_nic.dir/standard_nic.cpp.o"
+  "CMakeFiles/cni_nic.dir/standard_nic.cpp.o.d"
+  "libcni_nic.a"
+  "libcni_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

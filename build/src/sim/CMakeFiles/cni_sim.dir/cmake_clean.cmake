@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_sim.dir/engine.cpp.o"
+  "CMakeFiles/cni_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cni_sim.dir/process.cpp.o"
+  "CMakeFiles/cni_sim.dir/process.cpp.o.d"
+  "CMakeFiles/cni_sim.dir/stats.cpp.o"
+  "CMakeFiles/cni_sim.dir/stats.cpp.o.d"
+  "libcni_sim.a"
+  "libcni_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cni_util.dir/cli.cpp.o"
+  "CMakeFiles/cni_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cni_util.dir/log.cpp.o"
+  "CMakeFiles/cni_util.dir/log.cpp.o.d"
+  "CMakeFiles/cni_util.dir/table.cpp.o"
+  "CMakeFiles/cni_util.dir/table.cpp.o.d"
+  "libcni_util.a"
+  "libcni_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cni_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_integration.dir/test_apps_integration.cpp.o"
+  "CMakeFiles/test_apps_integration.dir/test_apps_integration.cpp.o.d"
+  "test_apps_integration"
+  "test_apps_integration.pdb"
+  "test_apps_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_board_parts.dir/test_core_board_parts.cpp.o"
+  "CMakeFiles/test_core_board_parts.dir/test_core_board_parts.cpp.o.d"
+  "test_core_board_parts"
+  "test_core_board_parts.pdb"
+  "test_core_board_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_board_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

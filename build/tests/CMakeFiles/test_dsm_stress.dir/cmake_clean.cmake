@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm_stress.dir/test_dsm_stress.cpp.o"
+  "CMakeFiles/test_dsm_stress.dir/test_dsm_stress.cpp.o.d"
+  "test_dsm_stress"
+  "test_dsm_stress.pdb"
+  "test_dsm_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

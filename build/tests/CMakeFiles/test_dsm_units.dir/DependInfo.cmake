@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsm_units.cpp" "tests/CMakeFiles/test_dsm_units.dir/test_dsm_units.cpp.o" "gcc" "tests/CMakeFiles/test_dsm_units.dir/test_dsm_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cni_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/cni_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cni_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cni_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/cni_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cni_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cni_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

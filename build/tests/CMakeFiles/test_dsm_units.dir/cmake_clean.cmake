@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm_units.dir/test_dsm_units.cpp.o"
+  "CMakeFiles/test_dsm_units.dir/test_dsm_units.cpp.o.d"
+  "test_dsm_units"
+  "test_dsm_units.pdb"
+  "test_dsm_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_bus_tlb.dir/test_mem_bus_tlb.cpp.o"
+  "CMakeFiles/test_mem_bus_tlb.dir/test_mem_bus_tlb.cpp.o.d"
+  "test_mem_bus_tlb"
+  "test_mem_bus_tlb.pdb"
+  "test_mem_bus_tlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_bus_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

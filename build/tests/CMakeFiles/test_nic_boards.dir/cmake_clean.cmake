@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_boards.dir/test_nic_boards.cpp.o"
+  "CMakeFiles/test_nic_boards.dir/test_nic_boards.cpp.o.d"
+  "test_nic_boards"
+  "test_nic_boards.pdb"
+  "test_nic_boards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_boards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathfinder.dir/test_pathfinder.cpp.o"
+  "CMakeFiles/test_pathfinder.dir/test_pathfinder.cpp.o.d"
+  "test_pathfinder"
+  "test_pathfinder.pdb"
+  "test_pathfinder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathfinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

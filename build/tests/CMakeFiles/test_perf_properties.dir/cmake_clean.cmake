@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_properties.dir/test_perf_properties.cpp.o"
+  "CMakeFiles/test_perf_properties.dir/test_perf_properties.cpp.o.d"
+  "test_perf_properties"
+  "test_perf_properties.pdb"
+  "test_perf_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

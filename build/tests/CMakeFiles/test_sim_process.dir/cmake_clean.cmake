@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_process.dir/test_sim_process.cpp.o"
+  "CMakeFiles/test_sim_process.dir/test_sim_process.cpp.o.d"
+  "test_sim_process"
+  "test_sim_process.pdb"
+  "test_sim_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_process[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_bus_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_atm[1]_include.cmake")
+include("/root/repo/build/tests/test_pathfinder[1]_include.cmake")
+include("/root/repo/build/tests/test_message_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core_board_parts[1]_include.cmake")
+include("/root/repo/build/tests/test_nic_boards[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_dsm_units[1]_include.cmake")
+include("/root/repo/build/tests/test_dsm_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_dsm_stress[1]_include.cmake")
