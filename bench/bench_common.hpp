@@ -3,6 +3,12 @@
 // Every binary regenerates one table or figure from the paper's §3 and
 // prints the same rows/series. `CNI_BENCH_FAST=1` (or --fast) shrinks the
 // sweep for smoke runs; the default matches paper scale.
+//
+// Sweeps run their points on a thread pool (`CNI_BENCH_JOBS`, defaulting to
+// hardware_concurrency): every (procs, board-kind, page-size) point is an
+// independent simulation with its own cluster, each point's result is
+// bit-identical to a sequential run, and results land in per-point slots so
+// the printed ordering never depends on completion order.
 #pragma once
 
 #include <cstdint>
@@ -52,19 +58,21 @@ inline void print_speedup_series(const std::string& title,
   t.print();
 }
 
-/// Runs one app config over the processor sweep on both board kinds.
+/// Runs one app config over the processor sweep on both board kinds. The
+/// 2 × |sweep| simulations are independent, so they run as parallel jobs.
 template <typename Config, typename RunFn>
 std::vector<SpeedupPoint> speedup_sweep(RunFn run, const Config& cfg,
                                         std::uint64_t page_size = 4096) {
-  std::vector<SpeedupPoint> out;
-  for (std::uint32_t p : processor_sweep()) {
-    SpeedupPoint pt;
-    pt.procs = p;
-    pt.cni = run(apps::make_params(cluster::BoardKind::kCni, p, page_size), cfg, nullptr);
-    pt.standard =
-        run(apps::make_params(cluster::BoardKind::kStandard, p, page_size), cfg, nullptr);
-    out.push_back(std::move(pt));
-  }
+  const std::vector<std::uint32_t> procs = processor_sweep();
+  std::vector<SpeedupPoint> out(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) out[i].procs = procs[i];
+  apps::parallel_indexed(procs.size() * 2, [&](std::size_t job) {
+    const std::size_t i = job / 2;
+    const bool is_cni = (job % 2) == 0;
+    const auto kind = is_cni ? cluster::BoardKind::kCni : cluster::BoardKind::kStandard;
+    apps::RunResult r = run(apps::make_params(kind, procs[i], page_size), cfg, nullptr);
+    (is_cni ? out[i].cni : out[i].standard) = std::move(r);
+  });
   return out;
 }
 
@@ -74,17 +82,23 @@ template <typename Config, typename RunFn>
 void print_pagesize_series(const std::string& title, RunFn run, const Config& cfg,
                            std::uint32_t procs,
                            const std::vector<std::uint64_t>& page_sizes) {
+  // Four independent runs per page size: {CNI, standard} × {1, procs}.
+  std::vector<apps::RunResult> results(page_sizes.size() * 4);
+  apps::parallel_indexed(results.size(), [&](std::size_t job) {
+    const std::uint64_t ps = page_sizes[job / 4];
+    const auto kind =
+        (job % 4) < 2 ? cluster::BoardKind::kCni : cluster::BoardKind::kStandard;
+    const std::uint32_t p = (job % 2) == 0 ? 1 : procs;
+    results[job] = run(apps::make_params(kind, p, ps), cfg, nullptr);
+  });
   util::Table t(title);
   t.set_header({"page bytes", "CNI speedup", "Standard speedup", "HitRatio(%)"});
-  for (std::uint64_t ps : page_sizes) {
-    const auto cni1 = run(apps::make_params(cluster::BoardKind::kCni, 1, ps), cfg, nullptr);
-    const auto cnip =
-        run(apps::make_params(cluster::BoardKind::kCni, procs, ps), cfg, nullptr);
-    const auto std1 =
-        run(apps::make_params(cluster::BoardKind::kStandard, 1, ps), cfg, nullptr);
-    const auto stdp =
-        run(apps::make_params(cluster::BoardKind::kStandard, procs, ps), cfg, nullptr);
-    t.add_row(std::to_string(ps),
+  for (std::size_t i = 0; i < page_sizes.size(); ++i) {
+    const apps::RunResult& cni1 = results[i * 4 + 0];
+    const apps::RunResult& cnip = results[i * 4 + 1];
+    const apps::RunResult& std1 = results[i * 4 + 2];
+    const apps::RunResult& stdp = results[i * 4 + 3];
+    t.add_row(std::to_string(page_sizes[i]),
               {static_cast<double>(cni1.elapsed) / static_cast<double>(cnip.elapsed),
                static_cast<double>(std1.elapsed) / static_cast<double>(stdp.elapsed),
                cnip.hit_ratio_pct},

@@ -25,19 +25,42 @@ void BM_EventDispatch(benchmark::State& state) {
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
 
 void BM_SelfSchedulingEvent(benchmark::State& state) {
+  // The engine's steady-state pattern: one event reschedules itself, so the
+  // heap stays tiny and the cost is pure schedule/fire overhead.
+  struct Tick {
+    Engine* e;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) e->schedule_after(1, Tick{e, remaining});
+    }
+  };
   for (auto _ : state) {
     Engine e;
-    const int n = static_cast<int>(state.range(0));
-    int remaining = n;
-    std::function<void()> tick = [&] {
-      if (--remaining > 0) e.schedule_after(1, tick);
-    };
-    e.schedule_at(0, tick);
+    int remaining = static_cast<int>(state.range(0));
+    e.schedule_at(0, Tick{&e, &remaining});
     e.run();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SelfSchedulingEvent)->Arg(100000);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  // Timer-wheel style usage: schedule a timeout, then cancel it before it
+  // fires. Indexed cancellation removes the event immediately, so the heap
+  // never accumulates dead entries.
+  for (auto _ : state) {
+    Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      const EventId id = e.schedule_at(static_cast<SimTime>(i + 1), [] {});
+      e.cancel(id);
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.events_cancelled());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleCancel)->Arg(100000);
 
 void BM_FiberSwitch(benchmark::State& state) {
   for (auto _ : state) {

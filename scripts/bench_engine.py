@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerates BENCH_engine.json from the engine and message-cache microbenches.
+
+Usage: scripts/bench_engine.py [build-dir]
+
+Captures the machine-readable throughput numbers the PR/README quote:
+events/sec from micro_engine and lookups/sec from micro_mcache.
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BUILD = Path(sys.argv[1]) if len(sys.argv) > 1 else ROOT / "build"
+
+
+def run(binary: str) -> dict:
+    out = subprocess.run(
+        [str(BUILD / "bench" / binary), "--benchmark_format=json", "--benchmark_min_time=0.5"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return json.loads(out)
+
+
+def main() -> None:
+    engine = run("micro_engine")
+    mcache = run("micro_mcache")
+
+    result = {
+        "context": {
+            "host": engine["context"]["host_name"],
+            "num_cpus": engine["context"]["num_cpus"],
+            "mhz_per_cpu": engine["context"]["mhz_per_cpu"],
+            "date": engine["context"]["date"],
+        },
+        "engine_events_per_sec": {},
+        "mcache_lookups_per_sec": {},
+    }
+    for b in engine["benchmarks"]:
+        if b.get("items_per_second"):
+            result["engine_events_per_sec"][b["name"]] = round(b["items_per_second"])
+    for b in mcache["benchmarks"]:
+        # mcache benches report one lookup/insert per iteration.
+        result["mcache_lookups_per_sec"][b["name"]] = round(1e9 / b["real_time"])
+
+    path = ROOT / "BENCH_engine.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Smoke test: configure, build, run the tier-1 suite, then exercise one
+# figure sweep and one microbenchmark in fast mode. Anything here failing
+# means the tree is not shippable; CI runs exactly this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# CMAKE_ARGS is a space-separated flag list (e.g. "-DCNI_SANITIZE=address");
+# word splitting is intentional.
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# One end-to-end figure (fast mode trims the sweep) and one microbench, so a
+# perf-infrastructure regression (bench harness, parallel runner, engine)
+# shows up even when the unit suite is green.
+CNI_BENCH_FAST=1 "$BUILD_DIR/bench/fig02_jacobi_speedup_128"
+"$BUILD_DIR/bench/micro_engine" --benchmark_min_time=0.05
+
+echo "smoke: OK"

@@ -6,6 +6,7 @@
 // synch delay) and the network cache hit ratio.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 
 #include "cluster/cluster.hpp"
@@ -13,6 +14,18 @@
 #include "dsm/system.hpp"
 
 namespace cni::apps {
+
+/// Worker count for running independent simulation points concurrently:
+/// CNI_BENCH_JOBS if set (>= 1), else std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t sweep_jobs();
+
+/// Runs fn(0), ..., fn(n-1) across a pool of sweep_jobs() threads. Each index
+/// must be an independent unit of work (a full simulation builds its own
+/// cluster, so points never share mutable state); callers keep output
+/// ordering stable by writing results into a preallocated slot per index.
+/// With one job (or n <= 1) everything runs on the calling thread. The first
+/// exception thrown by any index is rethrown after all workers finish.
+void parallel_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 struct RunResult {
   sim::SimTime elapsed = 0;

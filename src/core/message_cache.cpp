@@ -16,7 +16,7 @@ bool MessageCache::contains(mem::VAddr va, std::uint64_t len) const {
   const mem::PageNum first = geo_.page_of(va);
   const mem::PageNum last = geo_.page_of(va + len - 1);
   for (mem::PageNum p = first; p <= last; ++p) {
-    if (map_.find(p) == map_.end()) return false;
+    if (map_.find(p) == nullptr) return false;
   }
   return true;
 }
@@ -30,27 +30,27 @@ bool MessageCache::lookup_tx(mem::VAddr va, std::uint64_t len) {
   const mem::PageNum first = geo_.page_of(va);
   const mem::PageNum last = geo_.page_of(va + len - 1);
   for (mem::PageNum p = first; p <= last; ++p) {
-    buffers_[map_.at(p)].referenced = true;
+    buffers_[*map_.find(p)].referenced = true;
   }
   return true;
 }
 
 void MessageCache::bind_page(mem::PageNum vpn) {
-  if (auto it = map_.find(vpn); it != map_.end()) {
-    buffers_[it->second].referenced = true;
+  if (const std::uint32_t* idx = map_.find(vpn); idx != nullptr) {
+    buffers_[*idx].referenced = true;
     return;
   }
   // Clock sweep: first pass clears reference bits; a buffer with its bit
   // already clear (or an unbound buffer) is the victim.
   for (;;) {
     Buffer& b = buffers_[clock_hand_];
-    const std::size_t idx = clock_hand_;
+    const auto idx = static_cast<std::uint32_t>(clock_hand_);
     clock_hand_ = (clock_hand_ + 1) % buffers_.size();
     if (!b.valid) {
       b.valid = true;
       b.vpn = vpn;
       b.referenced = true;
-      map_.emplace(vpn, idx);
+      map_.insert(vpn, idx);
       return;
     }
     if (b.referenced) {
@@ -62,7 +62,7 @@ void MessageCache::bind_page(mem::PageNum vpn) {
     map_.erase(b.vpn);
     b.vpn = vpn;
     b.referenced = true;
-    map_.emplace(vpn, idx);
+    map_.insert(vpn, idx);
     return;
   }
 }
@@ -81,8 +81,8 @@ bool MessageCache::snoop_write(mem::VAddr va, std::uint64_t len) {
   const mem::PageNum last = geo_.page_of(va + len - 1);
   bool updated = false;
   for (mem::PageNum p = first; p <= last; ++p) {
-    if (auto it = map_.find(p); it != map_.end()) {
-      buffers_[it->second].referenced = true;
+    if (const std::uint32_t* idx = map_.find(p); idx != nullptr) {
+      buffers_[*idx].referenced = true;
       updated = true;
     }
   }
@@ -92,10 +92,10 @@ bool MessageCache::snoop_write(mem::VAddr va, std::uint64_t len) {
 
 void MessageCache::invalidate_page(mem::VAddr va) {
   const mem::PageNum p = geo_.page_of(va);
-  if (auto it = map_.find(p); it != map_.end()) {
-    buffers_[it->second].valid = false;
-    buffers_[it->second].referenced = false;
-    map_.erase(it);
+  if (const std::uint32_t* idx = map_.find(p); idx != nullptr) {
+    buffers_[*idx].valid = false;
+    buffers_[*idx].referenced = false;
+    map_.erase(p);
   }
 }
 

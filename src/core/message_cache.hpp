@@ -24,10 +24,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/page.hpp"
+#include "util/flat_map.hpp"
 
 namespace cni::core {
 
@@ -83,7 +83,7 @@ class MessageCache {
 
   mem::PageGeometry geo_;
   std::vector<Buffer> buffers_;
-  std::unordered_map<mem::PageNum, std::size_t> map_;  // the buffer map
+  util::U64FlatMap<std::uint32_t> map_;  // the buffer map: vpn -> buffer index
   std::size_t clock_hand_ = 0;
 
   std::uint64_t tx_lookups_ = 0;

@@ -5,11 +5,10 @@
 namespace cni::mem {
 
 PageNum PageTable::frame_of(PageNum vpn) {
-  auto it = va_to_pa_.find(vpn);
-  if (it != va_to_pa_.end()) return it->second;
+  if (const PageNum* ppn = va_to_pa_.find(vpn); ppn != nullptr) return *ppn;
   const PageNum ppn = next_frame_++;
-  va_to_pa_.emplace(vpn, ppn);
-  pa_to_va_.emplace(ppn, vpn);
+  va_to_pa_.insert(vpn, ppn);
+  pa_to_va_.insert(ppn, vpn);
   return ppn;
 }
 
@@ -19,9 +18,9 @@ PAddr PageTable::translate(VAddr va) {
 }
 
 std::optional<PageNum> PageTable::vpn_of(PageNum ppn) const {
-  auto it = pa_to_va_.find(ppn);
-  if (it == pa_to_va_.end()) return std::nullopt;
-  return it->second;
+  const PageNum* vpn = pa_to_va_.find(ppn);
+  if (vpn == nullptr) return std::nullopt;
+  return *vpn;
 }
 
 std::optional<VAddr> PageTable::reverse(PAddr pa) const {

@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/page.hpp"
+#include "util/flat_map.hpp"
 
 namespace cni::mem {
 
@@ -40,8 +40,10 @@ class PageTable {
 
  private:
   PageGeometry geo_;
-  std::unordered_map<PageNum, PageNum> va_to_pa_;
-  std::unordered_map<PageNum, PageNum> pa_to_va_;
+  // Flat open-addressed tables: TLB/RTLB miss resolution consults these on
+  // the bus-snoop path, so probes should stay within one cache line.
+  util::U64FlatMap<PageNum> va_to_pa_;
+  util::U64FlatMap<PageNum> pa_to_va_;
   PageNum next_frame_ = 0x100;  // leave low frames for "OS"; arbitrary
 };
 

@@ -3,23 +3,60 @@
 // Events fire in (time, insertion-sequence) order, so two events scheduled
 // for the same instant fire in the order they were scheduled — this is what
 // makes the whole simulation bit-reproducible run to run.
+//
+// The pending set is an index-tracked 8-ary min-heap: a slot table maps every
+// live EventId to its heap position, so cancel() removes the event in
+// O(log n) instead of leaving a tombstone, empty() is exact, and the wider
+// fan-out keeps sift paths short and cache-friendly. Callbacks are InlineFn,
+// so the schedule/fire cycle performs no heap allocation for the small
+// captures every hot path uses.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace cni::sim {
 
+namespace detail {
+
+/// Allocator returning 64-byte-aligned storage, so each 8-wide child group
+/// of the event heap's time/sequence arrays occupies exactly one cache line.
+template <typename T>
+struct CacheAlignedAlloc {
+  using value_type = T;
+  CacheAlignedAlloc() = default;
+  template <typename U>
+  CacheAlignedAlloc(const CacheAlignedAlloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{64});
+  }
+  template <typename U>
+  bool operator==(const CacheAlignedAlloc<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheAlignedAlloc<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace detail
+
+/// Identifies one scheduled event: a slot index plus a generation counter,
+/// so ids of fired or cancelled events go stale instead of being reused.
 using EventId = std::uint64_t;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -33,9 +70,10 @@ class Engine {
   /// Schedules `cb` at now() + dt.
   EventId schedule_after(SimDuration dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event is
-  /// a harmless no-op (lazy deletion).
-  void cancel(EventId id);
+  /// Cancels a pending event, removing it from the heap immediately.
+  /// Cancelling an already-fired, already-cancelled or unknown event is a
+  /// harmless no-op. Returns true iff a pending event was removed.
+  bool cancel(EventId id);
 
   /// Runs events until the queue is empty. Rethrows any exception raised by a
   /// callback (e.g. a failed check inside a simulated thread).
@@ -47,28 +85,63 @@ class Engine {
   /// Executes the single next event. Returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  /// Exact: true iff no live (uncancelled, unfired) event is pending.
+  [[nodiscard]] bool empty() const { return heap_t_.size() <= kPad; }
+  [[nodiscard]] std::size_t pending() const {
+    return heap_t_.empty() ? 0 : heap_t_.size() - kPad;
+  }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
-  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
 
  private:
-  struct Event {
-    SimTime t;
-    EventId id;
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  // The heap arrays carry a 7-element pad so the root sits at index 7 and
+  // every 8-child group starts at a multiple of 8 — with the 64-byte-aligned
+  // time array, a whole child group is one cache line.
+  static constexpr std::uint32_t kPad = 7;
+  static constexpr std::uint32_t kRoot = 7;
+  // 8-ary beats binary and 4-ary here: min-of-children scans run over the
+  // dense time array below (one cache line per level), so the shallower tree
+  // wins on the memory-bound large-heap drain.
+  static constexpr std::uint32_t kFanout = 8;
+
+  struct Slot {
     Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
-    }
+    std::uint32_t gen = 0;  // bumped on fire/cancel to invalidate old ids
   };
 
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  /// Frees a slot after its event fired or was cancelled; the generation
+  /// bump makes any outstanding EventId for it stale.
+  void release_slot(std::uint32_t s);
+
+  /// Removes heap_[i], refilling the hole from the back and re-sifting.
+  void remove_at(std::uint32_t i);
+
+  void sift_up(std::uint32_t i);
+  bool sift_down(std::uint32_t i);  // returns true if the node moved
+
   SimTime now_ = 0;
-  EventId next_id_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t cancelled_ = 0;
+  // The heap, struct-of-arrays: node i is (heap_t_[i], heap_seq_[i],
+  // heap_slot_[i]), ordered by (time, insertion sequence). Splitting the
+  // arrays keeps the min-of-children scan — the hot loop of every sift —
+  // inside one cache line of times per level.
+  std::vector<SimTime, detail::CacheAlignedAlloc<SimTime>> heap_t_;
+  std::vector<std::uint64_t, detail::CacheAlignedAlloc<std::uint64_t>> heap_seq_;
+  std::vector<std::uint32_t> heap_slot_;
+  std::vector<Slot> slots_;
+  // Heap position per slot (kNpos when not pending), kept out of Slot so the
+  // position writes every sift performs stay in one dense array.
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Models a serially-reusable resource (a bus, a link, a NIC processor): jobs

@@ -1,0 +1,116 @@
+// Small-buffer-optimized move-only callable, the engine's event payload.
+//
+// Every simulated communication or synchronisation point schedules at least
+// one `void()` callback, and nearly all of them are tiny and trivially
+// copyable: a `this` pointer plus at most a frame pointer and a timestamp.
+// `std::function` heap-allocates most of those (libstdc++'s inline buffer is
+// 16 bytes), so the seed engine paid one malloc/free per event. InlineFn
+// stores trivially-copyable callables up to kInlineBytes in-place and only
+// falls back to the heap for outsized or non-trivial captures, making the
+// common schedule/fire cycle allocation-free.
+//
+// Restricting inline storage to trivially-copyable callables is what makes
+// InlineFn itself trivially relocatable: a move is a fixed-size copy of the
+// buffer (the heap case keeps only a pointer there), with no indirect call.
+// The engine moves every callback at least twice (into its slot, out to
+// fire), so relocation cost is squarely on the hot path.
+//
+// Move-only on purpose: an event fires exactly once, so callbacks are moved
+// into the engine and moved out to fire; copyability would only invite
+// accidental duplication of captured state.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cni::sim {
+
+class InlineFn {
+ public:
+  /// Inline capacity: fits a lambda capturing six pointers/words, which
+  /// covers every callback the simulator schedules on its hot paths.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_trivially_copyable_v<Fn> && sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    // Relocation is a raw copy in both storage modes: inline callables are
+    // trivially copyable and the heap mode keeps only a pointer in buf_.
+    std::memcpy(buf_, other.buf_, kInlineBytes);
+    other.ops_ = nullptr;
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      std::memcpy(buf_, other.buf_, kInlineBytes);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the held callable, leaving the wrapper empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);  // nullptr: trivially destructible inline callable
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+        nullptr,
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* b) { (**std::launder(reinterpret_cast<Fn**>(b)))(); },
+        [](void* b) { delete *std::launder(reinterpret_cast<Fn**>(b)); },
+    };
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cni::sim

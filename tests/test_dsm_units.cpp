@@ -149,7 +149,7 @@ TEST(Diff, ApplyReconstructsCurrent) {
   auto cur = twin;
   cur[4] = std::byte{'Q'};
   cur[10] = std::byte{'B'};
-  cur[43] = std::byte{'G'};
+  cur[42] = std::byte{'G'};  // last byte: runs at the buffer edge must apply
   const Diff d = make_diff(0, VectorClock(2), twin, cur);
   auto replay = twin;
   apply_diff(d, replay);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace cni::sim {
@@ -72,6 +74,88 @@ TEST(Engine, CancelSuppressesEvent) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Engine, CancellingLastPendingEventEmptiesQueue) {
+  // Regression: with tombstone-based cancellation, empty() stayed false and
+  // run() had to pop the dead entry. Indexed cancellation removes it at once.
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();  // returns immediately: nothing is pending
+  EXPECT_EQ(e.events_executed(), 0u);
+  EXPECT_EQ(e.now(), 0u);  // time never advanced
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, CancelReportsWhetherAnEventWasRemoved) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // double cancel: harmless no-op
+  bool fired = false;
+  const EventId fired_id = e.schedule_at(20, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.cancel(fired_id));  // already fired
+  EXPECT_FALSE(e.cancel(0xdeadbeefdeadbeefULL));  // never existed
+}
+
+TEST(Engine, StaleIdDoesNotCancelASlotReusingEvent) {
+  // The slot of a fired event is recycled for the next schedule; the stale
+  // id must not reach the new occupant (generations keep them distinct).
+  Engine e;
+  const EventId old_id = e.schedule_at(1, [] {});
+  e.run();
+  bool fired = false;
+  e.schedule_at(2, [&] { fired = true; });  // reuses the freed slot
+  EXPECT_FALSE(e.cancel(old_id));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelInTheMiddlePreservesFiringOrder) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(e.schedule_at(static_cast<SimTime>(i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 16; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+  EXPECT_EQ(e.events_cancelled(), 8u);
+  EXPECT_EQ(e.events_executed(), 8u);
+}
+
+TEST(InlineFn, RunsHeapFallbackCallablesAndDestroysThem) {
+  // A capture that is not trivially copyable takes the heap path; the
+  // callable must still run and its captured state must be destroyed.
+  auto counter = std::make_shared<int>(0);
+  {
+    Engine e;
+    std::shared_ptr<int> keep = counter;
+    e.schedule_at(1, [keep] { ++*keep; });
+    EXPECT_EQ(counter.use_count(), 3);  // counter + keep + the engine's copy
+    e.run();
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 2);  // fired callbacks are destroyed
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, DestroysHeapCallableOnCancelToo) {
+  auto counter = std::make_shared<int>(0);
+  Engine e;
+  std::shared_ptr<int> keep = counter;
+  const EventId id = e.schedule_at(1, [keep] { ++*keep; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(counter.use_count(), 2);  // `keep` + our handle; engine's copy gone
+  e.run();
+  EXPECT_EQ(*counter, 0);
+}
+
 TEST(Engine, RunUntilLeavesLaterEvents) {
   Engine e;
   int fired = 0;
@@ -112,6 +196,38 @@ TEST(ServiceQueue, NoDoubleCountingOfWait) {
     const SimTime done = q.occupy(0, 100);
     EXPECT_EQ(done, static_cast<SimTime>(100 * (i + 1)));
   }
+}
+
+TEST(ServiceQueue, IdleGapsDoNotAccrueBusyTime) {
+  ServiceQueue q;
+  q.occupy(0, 10);
+  q.occupy(1000, 10);  // 980 ticks of idle between the jobs
+  q.occupy(5000, 10);
+  EXPECT_EQ(q.total_busy(), 30u);  // only service time, never idle time
+  EXPECT_EQ(q.busy_until(), 5010u);
+}
+
+TEST(ServiceQueue, TotalBusyIsTheSumOfDurationsUnderRandomLoad) {
+  // Invariants under an arbitrary arrival pattern: total_busy is exactly the
+  // sum of requested durations, completion times never go backwards, and a
+  // job never finishes before now + its own duration.
+  util::SplitMix64 rng(7);
+  ServiceQueue q;
+  SimDuration sum = 0;
+  SimTime now = 0;
+  SimTime prev_done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += rng.next_below(200);  // sometimes 0: back-to-back arrivals
+    const SimDuration d = 1 + rng.next_below(50);
+    const SimTime done = q.occupy(now, d);
+    sum += d;
+    EXPECT_GE(done, now + d);
+    EXPECT_GE(done, prev_done);
+    EXPECT_EQ(done, q.busy_until());
+    prev_done = done;
+  }
+  EXPECT_EQ(q.total_busy(), sum);
+  EXPECT_EQ(q.jobs(), 1000u);
 }
 
 }  // namespace

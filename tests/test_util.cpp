@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "util/cli.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -105,6 +108,63 @@ TEST(Cli, DefaultsHold) {
   const char* argv[] = {"prog"};
   cli.parse(1, const_cast<char**>(argv));
   EXPECT_EQ(cli.get_int("n"), 10);
+}
+
+TEST(U64FlatMap, InsertFindEraseBasics) {
+  U64FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m.insert(7, 70);
+  m.insert(9, 90);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  m.insert(7, 71);  // overwrite, not duplicate
+  EXPECT_EQ(*m.find(7), 71);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(9), 90);
+}
+
+TEST(U64FlatMap, MatchesReferenceMapUnderRandomChurn) {
+  // The backward-shift erase is the delicate part: hammer it with a random
+  // insert/erase mix (clustered keys force long probe chains) and compare
+  // against std::unordered_map after every growth-triggering batch.
+  SplitMix64 rng(11);
+  U64FlatMap<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = rng.next_below(512);  // small space: collisions
+    if (rng.next_below(3) != 0) {
+      const std::uint64_t val = rng.next();
+      m.insert(key, val);
+      ref[key] = val;
+    } else {
+      EXPECT_EQ(m.erase(key), ref.erase(key) == 1);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), v);
+  }
+  std::size_t walked = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++walked;
+    EXPECT_EQ(ref.at(k), v);
+  });
+  EXPECT_EQ(walked, ref.size());
+}
+
+TEST(U64FlatMap, ClearResetsAndStaysUsable) {
+  U64FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert(k, static_cast<int>(k));
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m.insert(5, 55);
+  EXPECT_EQ(*m.find(5), 55);
 }
 
 }  // namespace
