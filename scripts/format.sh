@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# clang-format wrapper for the project style (.clang-format).
+#
+# Usage:
+#   scripts/format.sh          reformat src/ tests/ bench/ examples/ in place
+#   scripts/format.sh --check  report violations, exit 1 if any (CI mode;
+#                              non-blocking first step in the workflow)
+#
+# If clang-format is missing (minimal local container), both modes skip with
+# exit 0; CI installs clang-format and runs the real check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "$FMT" ]]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      FMT="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$FMT" ]]; then
+  echo "format: clang-format not found on PATH; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) ! -path 'tests/lint_fixtures/*' | sort)
+
+if [[ "${1:-}" == "--check" ]]; then
+  echo "format: checking ${#files[@]} files with $FMT"
+  "$FMT" --dry-run --Werror "${files[@]}"
+  echo "format: OK"
+else
+  echo "format: reformatting ${#files[@]} files with $FMT"
+  "$FMT" -i "${files[@]}"
+fi

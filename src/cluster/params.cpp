@@ -6,7 +6,9 @@ namespace cni::cluster {
 
 util::Table SimParams::to_table() const {
   util::Table t("Table 1: Simulation Parameters");
-  auto mhz = [](std::uint64_t hz) { return util::format_double(hz / 1e6, 0) + " MHz"; };
+  auto mhz = [](std::uint64_t hz) {
+    return util::format_double(static_cast<double>(hz) / 1e6, 0) + " MHz";
+  };
   t.add_row({"CPU Frequency", mhz(cpu_freq_hz)});
   t.add_row({"Primary Cache Access Time", std::to_string(cache.l1_latency_cycles) + " cycle"});
   t.add_row({"Primary Cache Size", std::to_string(cache.l1_size / 1024) + "K unified"});

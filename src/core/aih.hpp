@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "core/dual_port.hpp"
 #include "util/check.hpp"
+#include "util/flat_map.hpp"
 
 namespace cni::core {
 
@@ -37,23 +37,23 @@ class AihRegion {
     auto offset = mem_.alloc(code_bytes, "aih-segment");
     if (!offset.has_value()) return std::nullopt;
     Segment seg{*offset, code_bytes};
-    CNI_CHECK_MSG(segments_.emplace(handler_id, seg).second,
-                  "handler id already has a segment");
+    CNI_CHECK_MSG(!segments_.contains(handler_id), "handler id already has a segment");
+    segments_.insert(handler_id, seg);
     resident_bytes_ += code_bytes;
     return seg;
   }
 
   /// Removes a handler's code from the board.
   void remove(std::uint32_t handler_id) {
-    auto it = segments_.find(handler_id);
-    CNI_CHECK_MSG(it != segments_.end(), "removing an uninstalled handler");
-    mem_.free(it->second.board_offset);
-    resident_bytes_ -= it->second.code_bytes;
-    segments_.erase(it);
+    const Segment* seg = segments_.find(handler_id);
+    CNI_CHECK_MSG(seg != nullptr, "removing an uninstalled handler");
+    mem_.free(seg->board_offset);
+    resident_bytes_ -= seg->code_bytes;
+    segments_.erase(handler_id);
   }
 
   [[nodiscard]] bool resident(std::uint32_t handler_id) const {
-    return segments_.find(handler_id) != segments_.end();
+    return segments_.contains(handler_id);
   }
 
   [[nodiscard]] std::uint64_t resident_bytes() const { return resident_bytes_; }
@@ -61,7 +61,7 @@ class AihRegion {
 
  private:
   DualPortMemory& mem_;
-  std::unordered_map<std::uint32_t, Segment> segments_;
+  util::U64FlatMap<Segment> segments_;
   std::uint64_t resident_bytes_ = 0;
 };
 

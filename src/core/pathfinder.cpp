@@ -24,7 +24,7 @@ void Pathfinder::remove_pattern(PatternId id) {
 std::size_t Pathfinder::pattern_count() const { return patterns_.size(); }
 
 void Pathfinder::install_dynamic(const FlowKey& flow, std::uint32_t target) {
-  dynamic_[flow] = target;
+  dynamic_.insert(flow.packed(), target);
 }
 
 std::uint64_t Pathfinder::read_le64(std::span<const std::byte> header, std::uint32_t offset) {
@@ -55,13 +55,13 @@ Pathfinder::Result Pathfinder::classify(std::span<const std::byte> header,
   // comparison; our callers classify whole reassembled packets, so the
   // dynamic map only carries the *intra-packet* state modelled below, but we
   // still honour a pre-installed binding (used by tests and by re-sent flows).
-  if (auto it = dynamic_.find(flow); it != dynamic_.end()) {
+  if (const std::uint32_t* target = dynamic_.find(flow.packed())) {
     ++dynamic_hits_;
     r.matched = true;
     r.via_dynamic = true;
-    r.target = it->second;
+    r.target = *target;
     r.comparisons = fragments;  // one comparison per fragment
-    dynamic_.erase(it);
+    dynamic_.erase(flow.packed());
     return r;
   }
 

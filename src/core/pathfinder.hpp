@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
+
+#include "util/check.hpp"
+#include "util/flat_map.hpp"
 
 namespace cni::core {
 
@@ -44,14 +46,16 @@ struct FlowKey {
   std::uint32_t seq = 0;
 
   bool operator==(const FlowKey&) const = default;
-};
 
-struct FlowKeyHash {
-  std::size_t operator()(const FlowKey& k) const {
-    std::uint64_t h = k.src;
-    h = h * 0x9e3779b97f4a7c15ULL + k.vci;
-    h = h * 0x9e3779b97f4a7c15ULL + k.seq;
-    return static_cast<std::size_t>(h ^ (h >> 32));
+  /// Lossless 64-bit packing used as the dynamic-pattern table key. Node ids
+  /// and VCIs are 16-bit quantities on the wire (the ATM VCI field is 16
+  /// bits; clusters are far below 65536 nodes), checked here so a widened
+  /// field can never silently alias another flow.
+  [[nodiscard]] std::uint64_t packed() const {
+    CNI_DCHECK(src < (1u << 16));
+    CNI_DCHECK(vci < (1u << 16));
+    return (static_cast<std::uint64_t>(src) << 48) |
+           (static_cast<std::uint64_t>(vci) << 32) | seq;
   }
 };
 
@@ -99,7 +103,7 @@ class Pathfinder {
     bool active;
   };
   std::vector<Installed> patterns_;
-  std::unordered_map<FlowKey, std::uint32_t, FlowKeyHash> dynamic_;
+  util::U64FlatMap<std::uint32_t> dynamic_;
   PatternId next_id_ = 1;
   std::uint64_t classifications_ = 0;
   std::uint64_t dynamic_hits_ = 0;

@@ -180,8 +180,8 @@ void DsmRuntime::write_upgrade(PageEntry& e, PageId p) {
 
 void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
   CNI_CHECK_MSG(!fetch_.active, "only one outstanding fetch per node");
-  CNI_LOG_DEBUG("n%u fetch page=%llu pending=%zu", self_, (unsigned long long)p,
-                e.pending.size());
+  CNI_LOG_DEBUG("n%u fetch page=%llu pending=%zu", self_,
+                static_cast<unsigned long long>(p), e.pending.size());
   auto& st = node_.cpu().stats();
 
   if (e.content_vc.size() == 0) e.content_vc = VectorClock(nprocs_);
@@ -479,7 +479,8 @@ void DsmRuntime::on_lock_req(Ctx& ctx, const atm::Frame& f) {
   VectorClock rvc = r.clock();
 
   LockHome& L = lock_homes_[lock];
-  CNI_LOG_DEBUG("n%u lock_req lock=%u from=%u held=%d", self_, lock, requester, (int)L.held);
+  CNI_LOG_DEBUG("n%u lock_req lock=%u from=%u held=%d", self_, lock, requester,
+                static_cast<int>(L.held));
   if (L.held) {
     L.waiters.emplace_back(requester, std::move(rvc));
     return;

@@ -22,11 +22,15 @@ class ByteWriter {
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
 
   void bytes(std::span<const std::byte> b) {
+    // The length field is 32 bits on the wire; a larger span would silently
+    // truncate and desynchronise every later read of the payload.
+    CNI_CHECK_LE(b.size(), UINT32_MAX);
     u32(static_cast<std::uint32_t>(b.size()));
     raw(b.data(), b.size());
   }
 
   void clock(const VectorClock& vc) {
+    CNI_CHECK_LE(vc.size(), UINT32_MAX);
     u32(static_cast<std::uint32_t>(vc.size()));
     for (std::size_t i = 0; i < vc.size(); ++i) u32(vc[i]);
   }

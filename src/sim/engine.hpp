@@ -33,6 +33,8 @@ struct CacheAlignedAlloc {
   template <typename U>
   CacheAlignedAlloc(const CacheAlignedAlloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
   T* allocate(std::size_t n) {
+    // cni-lint: allow(hot-path-alloc): this IS the allocator; amortized by
+    // the heap's geometric growth, not per-event.
     return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{64}));
   }
   void deallocate(T* p, std::size_t n) noexcept {

@@ -43,9 +43,13 @@ class InlineFn {
     using Fn = std::decay_t<F>;
     if constexpr (std::is_trivially_copyable_v<Fn> && sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
+      // cni-lint: allow(hot-path-alloc): placement new into the inline
+      // buffer — no heap allocation happens on this branch.
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = inline_ops<Fn>();
     } else {
+      // cni-lint: allow(hot-path-alloc): deliberate cold-path fallback for
+      // outsized/non-trivial captures; hot-path callbacks stay inline.
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = heap_ops<Fn>();
     }

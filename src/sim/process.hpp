@@ -29,6 +29,9 @@ namespace cni::sim {
 
 class SimThread {
  public:
+  // cni-lint: allow(hot-path-alloc): a SimThread body is constructed once
+  // per simulated thread at setup, never on the per-event path; bodies are
+  // large app closures for which InlineFn's 48-byte buffer is no win.
   using Body = std::function<void(SimThread&)>;
 
   /// Default fiber stack size. Application kernels keep big data on the

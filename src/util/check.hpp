@@ -1,11 +1,20 @@
 // Lightweight invariant checking for the simulator.
 //
 // CNI_CHECK is always on (simulation correctness beats the last few percent
-// of speed); CNI_DCHECK compiles out in release builds for hot paths.
+// of speed); CNI_DCHECK compiles out in release builds for hot paths. The
+// comparison forms (CNI_CHECK_EQ and friends) print both operand values on
+// failure, so a tripped invariant in a long sweep is diagnosable from the
+// log alone. Bare assert() is banned by scripts/lint_cni.py: it vanishes
+// under NDEBUG, which silently converts an invariant into undefined
+// behaviour in release sweeps.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 #if defined(__linux__)
 #include <execinfo.h>
@@ -25,6 +34,48 @@ namespace cni::util {
   std::abort();
 }
 
+namespace detail {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+/// Renders a failed comparison's operand for the failure message. Streams
+/// anything with an operator<<; everything else (opaque structs, scoped
+/// enums without printers) degrades to a placeholder rather than a compile
+/// error at the check site.
+template <typename T>
+std::string check_operand_str(const T& v) {
+  if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    // Stream chars and bytes numerically: a failing byte-valued check wants
+    // "7 vs 9", not unprintable glyphs.
+    if constexpr (std::is_same_v<T, char> || std::is_same_v<T, signed char> ||
+                  std::is_same_v<T, unsigned char>) {
+      os << static_cast<int>(v);
+    } else {
+      os << v;
+    }
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Cold path shared by the comparison macros: formats "lhs vs rhs" and
+/// aborts via check_failed so the backtrace logic lives in one place.
+template <typename A, typename B>
+[[noreturn]] void check_op_failed(const char* expr, const char* file, int line,
+                                  const A& lhs, const B& rhs) {
+  const std::string msg =
+      "values: " + check_operand_str(lhs) + " vs " + check_operand_str(rhs);
+  check_failed(expr, file, line, msg.c_str());
+}
+
+}  // namespace detail
 }  // namespace cni::util
 
 #define CNI_CHECK(expr)                                                \
@@ -37,10 +88,55 @@ namespace cni::util {
     if (!(expr)) ::cni::util::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (0)
 
+// Comparison checks: evaluate each operand exactly once and print both
+// values on failure. Operands bind to const references, so the macros are
+// safe for non-copyable types and for expressions with side effects.
+#define CNI_CHECK_OP_(op, a, b)                                               \
+  do {                                                                        \
+    const auto& cni_check_lhs_ = (a);                                         \
+    const auto& cni_check_rhs_ = (b);                                         \
+    if (!(cni_check_lhs_ op cni_check_rhs_)) {                                \
+      ::cni::util::detail::check_op_failed(#a " " #op " " #b, __FILE__,       \
+                                           __LINE__, cni_check_lhs_,          \
+                                           cni_check_rhs_);                   \
+    }                                                                         \
+  } while (0)
+
+#define CNI_CHECK_EQ(a, b) CNI_CHECK_OP_(==, a, b)
+#define CNI_CHECK_NE(a, b) CNI_CHECK_OP_(!=, a, b)
+#define CNI_CHECK_LT(a, b) CNI_CHECK_OP_(<, a, b)
+#define CNI_CHECK_LE(a, b) CNI_CHECK_OP_(<=, a, b)
+#define CNI_CHECK_GT(a, b) CNI_CHECK_OP_(>, a, b)
+#define CNI_CHECK_GE(a, b) CNI_CHECK_OP_(>=, a, b)
+
 #ifdef NDEBUG
 #define CNI_DCHECK(expr) \
   do {                   \
   } while (0)
+#define CNI_DCHECK_EQ(a, b) \
+  do {                      \
+  } while (0)
+#define CNI_DCHECK_NE(a, b) \
+  do {                      \
+  } while (0)
+#define CNI_DCHECK_LT(a, b) \
+  do {                      \
+  } while (0)
+#define CNI_DCHECK_LE(a, b) \
+  do {                      \
+  } while (0)
+#define CNI_DCHECK_GT(a, b) \
+  do {                      \
+  } while (0)
+#define CNI_DCHECK_GE(a, b) \
+  do {                      \
+  } while (0)
 #else
 #define CNI_DCHECK(expr) CNI_CHECK(expr)
+#define CNI_DCHECK_EQ(a, b) CNI_CHECK_EQ(a, b)
+#define CNI_DCHECK_NE(a, b) CNI_CHECK_NE(a, b)
+#define CNI_DCHECK_LT(a, b) CNI_CHECK_LT(a, b)
+#define CNI_DCHECK_LE(a, b) CNI_CHECK_LE(a, b)
+#define CNI_DCHECK_GT(a, b) CNI_CHECK_GT(a, b)
+#define CNI_DCHECK_GE(a, b) CNI_CHECK_GE(a, b)
 #endif

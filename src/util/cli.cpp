@@ -43,7 +43,10 @@ void Cli::parse(int argc, char** argv) {
     if (it == options_.end()) usage_and_exit("unknown flag: --" + name);
     if (!has_value) {
       if (it->second.kind == Kind::kFlag) {
-        value = "1";
+        // Move-assign rather than assigning the literal: GCC 12's
+        // -Wrestrict false-positives on char_traits::copy inlined through
+        // basic_string::assign(const char*) here (GCC PR105329).
+        value = std::string("1");
       } else {
         if (i + 1 >= argc) usage_and_exit("flag --" + name + " needs a value");
         value = argv[++i];

@@ -1,0 +1,7 @@
+// Fixture: wall-clock time in simulation code breaks bit-reproducibility.
+// lint-expect: determinism
+#include <ctime>
+
+long fixture_stamp() {
+  return static_cast<long>(std::time(nullptr));
+}

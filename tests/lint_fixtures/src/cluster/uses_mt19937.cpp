@@ -1,0 +1,9 @@
+// Fixture: std <random> engines are banned — all streams derive from the
+// explicitly seeded SplitMix64 in util/rng.hpp.
+// lint-expect: determinism
+#include <random>
+
+unsigned fixture_draw() {
+  std::mt19937 gen(42);
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified suppression silences the rule — this file must lint
+// clean even though it allocates in a hot-path directory.
+#pragma once
+
+namespace fixture {
+inline int* sanctioned_alloc_site() {
+  // cni-lint: allow(hot-path-alloc): fixture for the suppression syntax;
+  // models a setup-time allocation that never runs per event.
+  return new int(7);
+}
+}  // namespace fixture

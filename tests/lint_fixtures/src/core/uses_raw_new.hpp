@@ -1,0 +1,9 @@
+// Fixture: raw new in a hot-path directory must be flagged.
+// lint-expect: hot-path-alloc
+#pragma once
+
+namespace fixture {
+inline int* bad_alloc_site() {
+  return new int(7);
+}
+}  // namespace fixture

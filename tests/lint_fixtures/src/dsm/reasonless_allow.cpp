@@ -1,0 +1,11 @@
+// Fixture: an allow() without a reason is itself a finding — suppressions
+// must be justified.
+// lint-expect: lint-usage
+// lint-expect: bare-assert
+#include <cassert>
+
+int fixture_unjustified(int v) {
+  // cni-lint: allow(bare-assert)
+  assert(v > 0);
+  return v;
+}

@@ -1,0 +1,7 @@
+// Fixture: libc rand() outside util/rng.hpp must trip the determinism rule.
+// lint-expect: determinism
+#include <cstdlib>
+
+int fixture_noise() {
+  return rand() % 7;
+}

@@ -1,0 +1,8 @@
+// Fixture: bare assert() must be flagged anywhere in src/.
+// lint-expect: bare-assert
+#include <cassert>
+
+int fixture_checked(int v) {
+  assert(v > 0);
+  return v;
+}

@@ -1,0 +1,12 @@
+// Fixture: this header uses std::vector without including <vector>, so the
+// generated standalone TU fails to compile.
+// lint-expect: include-hygiene
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+inline std::vector<std::uint32_t> fixture_ids() {
+  return {1, 2, 3};
+}
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a well-formed header — includes everything it uses, no banned
+// constructs — must produce no findings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+inline std::vector<std::uint32_t> fixture_ok_ids() {
+  return {1, 2, 3};
+}
+}  // namespace fixture

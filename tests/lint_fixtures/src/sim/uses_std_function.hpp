@@ -1,0 +1,9 @@
+// Fixture: type-erased heap callables are banned on the event hot path.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+using BadCallback = std::function<void()>;
+}

@@ -1,0 +1,10 @@
+// Fixture: node-based containers are banned on the event hot path.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+using BadTable = std::unordered_map<std::uint64_t, int>;
+}

@@ -1,0 +1,12 @@
+// Fixture: src/util/rng.hpp is the sanctioned home for raw generator code;
+// the determinism rule is exempt here, so this must lint clean. (Mirrors
+// the real header's exemption — mentions of rand() live in real code too.)
+#pragma once
+
+#include <cstdlib>
+
+namespace fixture {
+inline int sanctioned_entropy() {
+  return rand();
+}
+}  // namespace fixture

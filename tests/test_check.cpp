@@ -1,0 +1,104 @@
+// Death tests for the CNI_CHECK family: the always-on checks must abort with
+// a diagnosable message, the comparison forms must print both operand
+// values, and CNI_DCHECK must compile out exactly when NDEBUG is defined —
+// the contract the hot paths rely on.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace cni::util {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  CNI_CHECK(1 + 1 == 2);
+  CNI_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, CheckAbortsWithExpression) {
+  EXPECT_DEATH(CNI_CHECK(2 + 2 == 5), "CNI_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckMsgAbortsWithMessage) {
+  EXPECT_DEATH(CNI_CHECK_MSG(false, "buffer map corrupt"), "buffer map corrupt");
+}
+
+TEST(CheckDeathTest, ComparisonFormsPassSilently) {
+  CNI_CHECK_EQ(3, 3);
+  CNI_CHECK_NE(3, 4);
+  CNI_CHECK_LT(3, 4);
+  CNI_CHECK_LE(4, 4);
+  CNI_CHECK_GT(5, 4);
+  CNI_CHECK_GE(5, 5);
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  const std::uint64_t got = 7;
+  const std::uint64_t want = 9;
+  EXPECT_DEATH(CNI_CHECK_EQ(got, want), "values: 7 vs 9");
+}
+
+TEST(CheckDeathTest, CheckLtPrintsBothOperands) {
+  const int a = 12;
+  EXPECT_DEATH(CNI_CHECK_LT(a, 12), "values: 12 vs 12");
+}
+
+TEST(CheckDeathTest, CheckLePrintsExpressionText) {
+  const int cursor = 33;
+  EXPECT_DEATH(CNI_CHECK_LE(cursor, 32), "cursor <= 32");
+}
+
+TEST(CheckDeathTest, CheckNeAndGeAbort) {
+  EXPECT_DEATH(CNI_CHECK_NE(5, 5), "values: 5 vs 5");
+  EXPECT_DEATH(CNI_CHECK_GE(4, 5), "values: 4 vs 5");
+}
+
+TEST(CheckDeathTest, StringOperandsArePrinted) {
+  const std::string got = "cni";
+  const std::string want = "osiris";
+  EXPECT_DEATH(CNI_CHECK_EQ(got, want), "values: cni vs osiris");
+}
+
+TEST(CheckDeathTest, UnprintableOperandsDegradeGracefully) {
+  struct Opaque {
+    int v;
+    bool operator==(const Opaque&) const = default;
+  };
+  EXPECT_DEATH(CNI_CHECK_EQ(Opaque{1}, Opaque{2}), "<unprintable> vs <unprintable>");
+}
+
+// Comparison operands must be evaluated exactly once, pass or fail, so a
+// check can wrap an expression with side effects (e.g. a consuming read).
+TEST(CheckDeathTest, OperandsEvaluateExactlyOnce) {
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  CNI_CHECK_EQ(bump(), 1);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckDeathTest, DcheckCompileOutMatchesBuildType) {
+  int evals = 0;
+  auto count_true = [&evals] {
+    ++evals;
+    return true;
+  };
+  (void)count_true;  // unreferenced when CNI_DCHECK compiles out
+#ifdef NDEBUG
+  // Release: CNI_DCHECK vanishes — the expression must not even evaluate.
+  CNI_DCHECK(count_true());
+  CNI_DCHECK_EQ(evals, 999);  // would abort if live
+  EXPECT_EQ(evals, 0);
+#else
+  // Debug: CNI_DCHECK is exactly CNI_CHECK.
+  CNI_DCHECK(count_true());
+  EXPECT_EQ(evals, 1);
+  EXPECT_DEATH(CNI_DCHECK_EQ(1, 2), "values: 1 vs 2");
+#endif
+}
+
+}  // namespace
+}  // namespace cni::util

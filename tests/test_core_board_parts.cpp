@@ -115,6 +115,32 @@ TEST(AihRegion, NoVirtualMemoryMeansWholeHandlerMustFit) {
   EXPECT_FALSE(aih.install(1, 16 * 1024).has_value());
 }
 
+// Regression for the segment table's move to util::U64FlatMap: drive it
+// through growth and interleaved erases so the open-addressed probe and
+// backward-shift paths run, and verify the accounting never drifts.
+TEST(AihRegion, ManyHandlersSurviveChurn) {
+  DualPortMemory mem(1024 * 1024);
+  AihRegion aih(mem);
+  constexpr std::uint32_t kHandlers = 64;
+  constexpr std::uint64_t kBytes = 1024;
+  for (std::uint32_t id = 0; id < kHandlers; ++id) {
+    ASSERT_TRUE(aih.install(id, kBytes).has_value());
+  }
+  EXPECT_EQ(aih.segment_count(), kHandlers);
+  EXPECT_EQ(aih.resident_bytes(), kHandlers * kBytes);
+  for (std::uint32_t id = 0; id < kHandlers; id += 2) aih.remove(id);
+  for (std::uint32_t id = 0; id < kHandlers; ++id) {
+    EXPECT_EQ(aih.resident(id), id % 2 == 1) << id;
+  }
+  EXPECT_EQ(aih.resident_bytes(), kHandlers / 2 * kBytes);
+  // Reinstall into the holes; ids must not collide with survivors.
+  for (std::uint32_t id = 0; id < kHandlers; id += 2) {
+    ASSERT_TRUE(aih.install(id, kBytes).has_value());
+  }
+  EXPECT_EQ(aih.segment_count(), kHandlers);
+  EXPECT_EQ(aih.resident_bytes(), kHandlers * kBytes);
+}
+
 TEST(PollGovernor, FirstArrivalInterrupts) {
   PollGovernor g(1 * sim::kMillisecond);
   EXPECT_TRUE(g.on_arrival(0));

@@ -109,9 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
                       StressParam{4, true, 32, 3}, StressParam{4, true, 8, 4},
                       StressParam{6, true, 64, 5}, StressParam{8, true, 32, 6},
                       StressParam{3, false, 32, 7}, StressParam{5, false, 32, 8}),
-    [](const ::testing::TestParamInfo<StressParam>& info) {
-      return (info.param.cni ? "cni" : "std") + std::to_string(info.param.procs) +
-             "p_" + std::to_string(info.param.mcache_kb) + "kb";
+    [](const ::testing::TestParamInfo<StressParam>& tpi) {
+      return (tpi.param.cni ? "cni" : "std") + std::to_string(tpi.param.procs) +
+             "p_" + std::to_string(tpi.param.mcache_kb) + "kb";
     });
 
 }  // namespace

@@ -125,5 +125,41 @@ TEST(Pathfinder, MatchesHelper) {
   EXPECT_FALSE(Pathfinder::matches(p, header_bytes(0x0202)));
 }
 
+// Regression for the dynamic table's move to util::U64FlatMap keyed on
+// FlowKey::packed(): flows differing in any single field must never alias,
+// and consuming one flow's binding must leave the others intact.
+TEST(Pathfinder, PackedFlowKeysNeverAlias) {
+  const FlowKey base{3, 7, 1000};
+  const FlowKey other_src{4, 7, 1000};
+  const FlowKey other_vci{3, 8, 1000};
+  const FlowKey other_seq{3, 7, 1001};
+  EXPECT_NE(base.packed(), other_src.packed());
+  EXPECT_NE(base.packed(), other_vci.packed());
+  EXPECT_NE(base.packed(), other_seq.packed());
+  // Field values that could collide under a naive shift/xor mix: (src=1,
+  // vci=0) vs (src=0, vci=1<<16) is impossible since vci is checked to 16
+  // bits, but (src,seq) and (vci,seq) swaps must stay distinct.
+  EXPECT_NE((FlowKey{1, 2, 3}).packed(), (FlowKey{2, 1, 3}).packed());
+  EXPECT_NE((FlowKey{0, 5, 6}).packed(), (FlowKey{5, 0, 6}).packed());
+
+  Pathfinder pf;
+  pf.add_pattern(type_pattern(0x0201, 1));
+  pf.install_dynamic(base, 10);
+  pf.install_dynamic(other_src, 20);
+  pf.install_dynamic(other_seq, 30);
+
+  const auto r = pf.classify(header_bytes(0x0201), base, 2);
+  EXPECT_TRUE(r.via_dynamic);
+  EXPECT_EQ(r.target, 10u);
+  // base's binding is consumed; the neighbours must still resolve dynamic.
+  EXPECT_FALSE(pf.classify(header_bytes(0x0201), base, 1).via_dynamic);
+  const auto r2 = pf.classify(header_bytes(0x0201), other_src, 1);
+  EXPECT_TRUE(r2.via_dynamic);
+  EXPECT_EQ(r2.target, 20u);
+  const auto r3 = pf.classify(header_bytes(0x0201), other_seq, 1);
+  EXPECT_TRUE(r3.via_dynamic);
+  EXPECT_EQ(r3.target, 30u);
+}
+
 }  // namespace
 }  // namespace cni::core
