@@ -1,0 +1,286 @@
+// Ablation: the zero-copy data path vs the copying one it replaced.
+//
+// Three hot loops, each with an in-binary "legacy" twin reproducing the
+// pre-pool implementation:
+//
+//   * page send/receive round-trip — serialize a page-reply payload, carry
+//     it through the event engine, parse it at the receiver. Pooled path:
+//     headroom ByteWriter -> Frame::adopt -> FrameTask (inline, refcounted).
+//     Legacy path: vector payload, header-prepend copy, std::function
+//     capture copy, one more copy at delivery.
+//   * diff create — word-wise XOR scanner vs the historical byte-wise scan
+//     (both produce identical runs; see tests/test_dsm_units.cpp).
+//   * diff apply — arena runs vs per-run owned vectors.
+//
+// The binary also *accounts allocations*: a global operator new/delete
+// interposer counts heap calls, and the pooled round-trip reports
+// heap_allocs_per_op (steady state: 0) next to the pool hit rate. The
+// numbers land in BENCH_datapath.json via scripts/bench_engine.py.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "atm/packet.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/wire_format.hpp"
+#include "sim/engine.hpp"
+#include "util/buf_pool.hpp"
+#include "util/rng.hpp"
+
+// ---- global allocation interposer (this binary only) -----------------------
+
+// The replaced operators route through malloc/aligned_alloc + free, which is
+// internally consistent; GCC's -Wmismatched-new-delete can't see that once
+// the calls inline, so silence it for this benchmark TU.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace cni;
+
+// ---- page round-trip -------------------------------------------------------
+
+nic::MsgHeader page_header(std::uint32_t len) {
+  nic::MsgHeader h;
+  h.type = nic::kTypeHandlerBase + 7;
+  h.flags = nic::kFlagCacheable;
+  h.src_node = 1;
+  h.aux = len;
+  return h;
+}
+
+/// Pooled path, shaped like DsmRuntime::fetch_page_data / on_page_reply:
+/// serialize into a headroom writer, patch the header in place, adopt the
+/// buffer as the frame payload, hop through the engine, parse a backed
+/// reader at the receiver. One pool allocation, zero copies after it.
+void BM_PageRoundTripPooled(benchmark::State& state) {
+  const std::uint32_t page = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> image(page, std::byte{0x5C});
+  const nic::MsgHeader hdr = page_header(page);
+
+  std::uint64_t sink = 0;
+  sim::Engine e;
+  // Warm the pool's size classes and the engine's event storage before
+  // counting, so the loop below measures the steady state.
+  {
+    dsm::ByteWriter w(dsm::kMsgHeadroom);
+    w.bytes(image);
+    e.schedule_after(1, [] {});
+    e.run();
+  }
+  const std::uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  const auto pool_before = util::BufPool::local().stats();
+
+  for (auto _ : state) {
+    dsm::ByteWriter w(dsm::kMsgHeadroom);
+    w.reserve(dsm::kMsgHeadroom + 4 + image.size());  // page size known up front
+    w.bytes(image);
+    util::Buf payload = std::move(w).take();
+    std::memcpy(payload.data(), &hdr, sizeof hdr);
+    atm::Frame f = atm::Frame::adopt(1, 0, 0, std::move(payload));
+    e.schedule_after(1, atm::FrameTask(
+                            [&sink](atm::Frame got) {
+                              dsm::ByteReader r(got.payload, dsm::kMsgHeadroom);
+                              const std::span<const std::byte> data = r.bytes();
+                              sink += std::to_integer<std::uint64_t>(data.back());
+                            },
+                            std::move(f)));
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+
+  const auto pool_after = util::BufPool::local().stats();
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.counters["pool_hits_per_op"] = benchmark::Counter(
+      static_cast<double>(pool_after.hits - pool_before.hits) /
+      static_cast<double>(state.iterations()));
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_PageRoundTripPooled)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+/// The pre-pool shape: vector payloads copied at every layer boundary and a
+/// std::function event capture (heap-allocated, copies the frame again).
+struct LegacyFrame {
+  std::uint32_t src = 0, dst = 0, vci = 0;
+  std::vector<std::byte> payload;
+};
+
+void BM_PageRoundTripLegacy(benchmark::State& state) {
+  const std::uint32_t page = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> image(page, std::byte{0x5C});
+  const nic::MsgHeader hdr = page_header(page);
+
+  std::uint64_t sink = 0;
+  sim::Engine e;
+  for (auto _ : state) {
+    // Body serialization into a fresh vector (alloc + copy)...
+    std::vector<std::byte> body(4 + image.size());
+    const std::uint32_t n = static_cast<std::uint32_t>(image.size());
+    std::memcpy(body.data(), &n, 4);
+    std::memcpy(body.data() + 4, image.data(), image.size());
+    // ...header-prepend into the frame payload (alloc + copy)...
+    LegacyFrame f;
+    f.src = 1;
+    f.payload.resize(sizeof hdr + body.size());
+    std::memcpy(f.payload.data(), &hdr, sizeof hdr);
+    std::memcpy(f.payload.data() + sizeof hdr, body.data(), body.size());
+    // ...and a type-erased capture (heap) copying the frame once more.
+    std::function<void()> deliver = [f, &sink]() {
+      sink += std::to_integer<std::uint64_t>(f.payload.back());
+    };
+    e.schedule_after(1, std::move(deliver));
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_PageRoundTripLegacy)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+// ---- diff create / apply ---------------------------------------------------
+
+/// Dirty pattern from the paper's column-striped pages: a 16-byte run every
+/// 256 bytes, far enough apart that runs never merge.
+std::vector<std::byte> dirtied(const std::vector<std::byte>& twin) {
+  std::vector<std::byte> cur = twin;
+  for (std::size_t off = 32; off + 16 <= cur.size(); off += 256) {
+    for (std::size_t i = 0; i < 16; ++i) cur[off + i] ^= std::byte{0xFF};
+  }
+  return cur;
+}
+
+std::vector<std::byte> random_page(std::size_t n, std::uint64_t seed) {
+  cni::util::SplitMix64 rng(seed);
+  std::vector<std::byte> v(n);
+  for (std::byte& b : v) b = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+void BM_DiffCreateWordWise(benchmark::State& state) {
+  const std::size_t page = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> twin = random_page(page, 0xD1FF);
+  const std::vector<std::byte> cur = dirtied(twin);
+  for (auto _ : state) {
+    dsm::Diff d = dsm::make_diff(0, dsm::VectorClock(2), twin, cur);
+    benchmark::DoNotOptimize(d.runs.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_DiffCreateWordWise)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+/// The historical differ: byte-at-a-time compare, each run owning a
+/// std::vector<std::byte> of its bytes.
+struct LegacyRun {
+  std::uint32_t offset = 0;
+  std::vector<std::byte> bytes;
+};
+
+std::vector<LegacyRun> legacy_make_diff(std::span<const std::byte> twin,
+                                        std::span<const std::byte> cur) {
+  std::vector<LegacyRun> runs;
+  std::size_t i = 0;
+  while (i < cur.size()) {
+    if (twin[i] == cur[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    std::size_t last = i;
+    ++i;
+    while (i < cur.size() && i - last <= 8) {
+      if (twin[i] != cur[i]) last = i;
+      ++i;
+    }
+    LegacyRun r;
+    r.offset = static_cast<std::uint32_t>(start);
+    r.bytes.assign(cur.begin() + static_cast<std::ptrdiff_t>(start),
+                   cur.begin() + static_cast<std::ptrdiff_t>(last + 1));
+    runs.push_back(std::move(r));
+    i = last + 1;
+  }
+  return runs;
+}
+
+void BM_DiffCreateByteWise(benchmark::State& state) {
+  const std::size_t page = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> twin = random_page(page, 0xD1FF);
+  const std::vector<std::byte> cur = dirtied(twin);
+  for (auto _ : state) {
+    std::vector<LegacyRun> runs = legacy_make_diff(twin, cur);
+    benchmark::DoNotOptimize(runs.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_DiffCreateByteWise)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_DiffApplyPooled(benchmark::State& state) {
+  const std::size_t page = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> twin = random_page(page, 0xD1FF);
+  const std::vector<std::byte> cur = dirtied(twin);
+  const dsm::Diff d = dsm::make_diff(0, dsm::VectorClock(2), twin, cur);
+  std::vector<std::byte> target = twin;
+  for (auto _ : state) {
+    dsm::apply_diff(d, target);
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_DiffApplyPooled)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_DiffApplyLegacy(benchmark::State& state) {
+  const std::size_t page = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> twin = random_page(page, 0xD1FF);
+  const std::vector<std::byte> cur = dirtied(twin);
+  const std::vector<LegacyRun> runs = legacy_make_diff(twin, cur);
+  std::vector<std::byte> target = twin;
+  for (auto _ : state) {
+    // The old apply also re-materialized each run before the memcpy.
+    for (const LegacyRun& r : runs) {
+      std::vector<std::byte> staged = r.bytes;
+      std::memcpy(target.data() + r.offset, staged.data(), staged.size());
+    }
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page);
+}
+BENCHMARK(BM_DiffApplyLegacy)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+}  // namespace

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Regenerates BENCH_engine.json from the engine and message-cache microbenches.
+"""Regenerates BENCH_engine.json and BENCH_datapath.json from the microbenches.
 
 Usage: scripts/bench_engine.py [build-dir]
 
 Captures the machine-readable throughput numbers the PR/README quote:
-events/sec from micro_engine and lookups/sec from micro_mcache.
+events/sec from micro_engine, lookups/sec from micro_mcache, and the
+zero-copy-vs-legacy data-path comparison from micro_datapath (throughput,
+speedup ratios, and the steady-state heap-allocation count).
 """
 import json
 import subprocess
@@ -25,17 +27,54 @@ def run(binary: str) -> dict:
     return json.loads(out)
 
 
+def context_of(report: dict) -> dict:
+    return {
+        "host": report["context"]["host_name"],
+        "num_cpus": report["context"]["num_cpus"],
+        "mhz_per_cpu": report["context"]["mhz_per_cpu"],
+        "date": report["context"]["date"],
+    }
+
+
+# (pooled benchmark, legacy benchmark) pairs micro_datapath reports.
+DATAPATH_PAIRS = {
+    "page_round_trip": ("BM_PageRoundTripPooled", "BM_PageRoundTripLegacy"),
+    "diff_create": ("BM_DiffCreateWordWise", "BM_DiffCreateByteWise"),
+    "diff_apply": ("BM_DiffApplyPooled", "BM_DiffApplyLegacy"),
+}
+
+
+def write_datapath() -> None:
+    report = run("micro_datapath")
+    by_name = {b["name"]: b for b in report["benchmarks"]}
+    result = {"context": context_of(report)}
+    for key, (pooled, legacy) in DATAPATH_PAIRS.items():
+        series = {}
+        for size in (1024, 2048, 4096, 8192):
+            p = by_name[f"{pooled}/{size}"]
+            l = by_name[f"{legacy}/{size}"]
+            entry = {
+                "pooled_bytes_per_sec": round(p["bytes_per_second"]),
+                "legacy_bytes_per_sec": round(l["bytes_per_second"]),
+                "speedup": round(p["bytes_per_second"] / l["bytes_per_second"], 2),
+            }
+            if "heap_allocs_per_op" in p:
+                entry["heap_allocs_per_op"] = round(p["heap_allocs_per_op"], 4)
+                entry["pool_hits_per_op"] = round(p["pool_hits_per_op"], 2)
+            series[str(size)] = entry
+        result[key] = series
+
+    path = ROOT / "BENCH_datapath.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     engine = run("micro_engine")
     mcache = run("micro_mcache")
 
     result = {
-        "context": {
-            "host": engine["context"]["host_name"],
-            "num_cpus": engine["context"]["num_cpus"],
-            "mhz_per_cpu": engine["context"]["mhz_per_cpu"],
-            "date": engine["context"]["date"],
-        },
+        "context": context_of(engine),
         "engine_events_per_sec": {},
         "mcache_lookups_per_sec": {},
     }
@@ -49,6 +88,8 @@ def main() -> None:
     path = ROOT / "BENCH_engine.json"
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
+
+    write_datapath()
 
 
 if __name__ == "__main__":

@@ -8,10 +8,16 @@ checks the three that matter most (see DESIGN.md section 9):
                   flows through the seeded streams in src/util/rng.hpp;
                   wall-clock and libc RNG calls are banned everywhere else
                   in src/.
-  hot-path-alloc  src/sim and src/core are the per-event hot paths. Node
-                  containers (std::unordered_map/set), type-erased heap
-                  callables (std::function) and raw `new` are banned there;
-                  use util::U64FlatMap and sim::InlineFn (DESIGN.md §8).
+  hot-path-alloc  src/sim, src/core, src/atm, src/nic and src/dsm are the
+                  per-event hot paths. Node containers
+                  (std::unordered_map/set), type-erased heap callables
+                  (std::function) and raw `new` are banned there; use
+                  util::U64FlatMap and sim::InlineFn (DESIGN.md §8).
+  payload-copy    Frame/diff payloads live in pooled util::Buf storage and
+                  travel by refcount (DESIGN.md §10). Declaring a
+                  std::vector<std::byte> in a data-path directory almost
+                  always reintroduces a per-hop copy; hold a util::Buf or a
+                  std::span view instead.
   bare-assert     assert() vanishes under NDEBUG, silently downgrading an
                   invariant to undefined behaviour in release sweeps. Use
                   CNI_CHECK (always on) or CNI_DCHECK (debug-only).
@@ -69,11 +75,13 @@ HOT_PATH_PATTERNS = [
      "raw new (allocation on the per-event path)"),
 ]
 
+PAYLOAD_COPY_PATTERN = re.compile(r"\bstd\s*::\s*vector\s*<\s*std\s*::\s*byte\s*>")
+
 BARE_ASSERT_PATTERN = re.compile(r"(?<![\w.:])assert\s*\(")
 
 # Paths (relative, forward slashes) where determinism primitives may live.
 DETERMINISM_EXEMPT = {"src/util/rng.hpp"}
-HOT_PATH_DIRS = ("src/sim/", "src/core/")
+HOT_PATH_DIRS = ("src/sim/", "src/core/", "src/atm/", "src/nic/", "src/dsm/")
 
 ALLOW_RE = re.compile(r"cni-lint:\s*allow\(([a-z-]+)\)\s*:?\s*(.*)")
 EXPECT_RE = re.compile(r"lint-expect:\s*([a-z-]+)")
@@ -243,6 +251,10 @@ def lint_file(root, rel, findings):
             for pat, what in HOT_PATH_PATTERNS:
                 if pat.search(line):
                     check(lineno, "hot-path-alloc", what)
+            if PAYLOAD_COPY_PATTERN.search(line):
+                check(lineno, "payload-copy",
+                      "std::vector<std::byte> payload copy — hold a "
+                      "util::Buf (pooled, refcounted) or a std::span view")
         if BARE_ASSERT_PATTERN.search(line):
             check(lineno, "bare-assert",
                   "bare assert() compiles out under NDEBUG — use CNI_CHECK "

@@ -16,10 +16,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# One end-to-end figure (fast mode trims the sweep) and one microbench, so a
-# perf-infrastructure regression (bench harness, parallel runner, engine)
-# shows up even when the unit suite is green.
+# One end-to-end figure (fast mode trims the sweep) and two microbenches, so
+# a perf-infrastructure regression (bench harness, parallel runner, engine,
+# pooled data path) shows up even when the unit suite is green. The datapath
+# bench also runs under the sanitizer jobs, exercising the buffer pool's
+# cross-thread release and the allocation interposer under ASan/UBSan/TSan.
 CNI_BENCH_FAST=1 "$BUILD_DIR/bench/fig02_jacobi_speedup_128"
 "$BUILD_DIR/bench/micro_engine" --benchmark_min_time=0.05
+"$BUILD_DIR/bench/micro_datapath" --benchmark_min_time=0.05
 
 echo "smoke: OK"

@@ -50,9 +50,14 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
   ++frames_;
   cells_total_ += t.cells;
 
-  engine_.schedule_at(t.arrival, [this, dst, f = std::move(frame)]() mutable {
-    hooks_[dst](std::move(f));
-  });
+  // The delivery event carries only the hook pointer plus the frame's
+  // flattened Parts (FrameTask): it fits InlineFn's inline buffer and shares
+  // the pooled payload by refcount instead of copying the Frame into a
+  // heap-allocated closure. hooks_ is sized once in the constructor, so the
+  // element address is stable across the event's lifetime.
+  engine_.schedule_at(
+      t.arrival, FrameTask([hook = &hooks_[dst]](Frame f) { (*hook)(std::move(f)); },
+                           std::move(frame)));
   return t;
 }
 

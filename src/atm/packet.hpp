@@ -4,14 +4,21 @@
 // contiguous byte payload whose first bytes form the demultiplexing header
 // the PATHFINDER classifies on. Frames carry real data (DSM pages, diffs,
 // application messages); timing is computed by the fabric and NIC models.
+//
+// The payload is a pooled, ref-counted util::Buf: building a frame is one
+// pool allocation, and every hop after that (fabric delivery, channel
+// queues, handler dispatch) shares the same buffer by refcount instead of
+// copying it. `parts()`/`assemble()` flatten a frame into a trivially
+// copyable POD so event callbacks can carry one inline through the engine
+// (sim::InlineFn) without touching the heap.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <vector>
 
+#include "util/buf_pool.hpp"
 #include "util/check.hpp"
 
 namespace cni::atm {
@@ -22,11 +29,12 @@ struct Frame {
   NodeId src = 0;
   NodeId dst = 0;
   std::uint32_t vci = 0;  ///< virtual circuit id (coarse demux, per OSIRIS)
-  std::vector<std::byte> payload;
+  util::Buf payload;
 
   [[nodiscard]] std::uint64_t size() const { return payload.size(); }
 
-  [[nodiscard]] std::span<const std::byte> bytes() const { return payload; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return payload.span(); }
+  [[nodiscard]] std::span<std::byte> mutable_bytes() { return payload.span(); }
 
   /// Reads a trivially-copyable header of type T from the payload front.
   template <typename T>
@@ -38,7 +46,8 @@ struct Frame {
     return t;
   }
 
-  /// Builds a frame from a header plus body bytes.
+  /// Builds a frame from a header plus body bytes, serialized straight into
+  /// pooled storage (one allocation, no intermediate vector).
   template <typename T>
   static Frame make(NodeId src, NodeId dst, std::uint32_t vci, const T& hdr,
                     std::span<const std::byte> body = {}) {
@@ -47,13 +56,98 @@ struct Frame {
     f.src = src;
     f.dst = dst;
     f.vci = vci;
-    f.payload.resize(sizeof(T) + body.size());
+    f.payload = util::BufPool::local().alloc(sizeof(T) + body.size());
     std::memcpy(f.payload.data(), &hdr, sizeof(T));
     if (!body.empty()) {
       std::memcpy(f.payload.data() + sizeof(T), body.data(), body.size());
     }
     return f;
   }
+
+  /// Wraps an already-serialized payload buffer without copying it.
+  static Frame adopt(NodeId src, NodeId dst, std::uint32_t vci, util::Buf payload) {
+    Frame f;
+    f.src = src;
+    f.dst = dst;
+    f.vci = vci;
+    f.payload = std::move(payload);
+    return f;
+  }
+
+  /// A zero-filled frame of `bytes` payload (tests and timing-only probes).
+  static Frame blank(NodeId src, NodeId dst, std::uint32_t vci, std::size_t bytes) {
+    Frame f;
+    f.src = src;
+    f.dst = dst;
+    f.vci = vci;
+    f.payload = util::BufPool::local().alloc_zeroed(bytes);
+    return f;
+  }
+
+  /// Trivially copyable flattened form for inline event captures. Owns one
+  /// payload reference; `assemble()` takes it back. A FrameParts that is
+  /// dropped without assemble() leaks that reference, so callbacks carrying
+  /// one must release it in their destructor (see sim/inline_fn.hpp's
+  /// trivially-relocatable callables).
+  struct Parts {
+    NodeId src;
+    NodeId dst;
+    std::uint32_t vci;
+    util::BufCtrl* buf;
+  };
+
+  /// Flattens into a Parts, transferring the payload reference out.
+  [[nodiscard]] Parts to_parts() && {
+    return Parts{src, dst, vci, payload.release()};
+  }
+
+  /// Rebuilds a frame from a Parts, taking over its payload reference.
+  [[nodiscard]] static Frame assemble(const Parts& p) {
+    return adopt(p.src, p.dst, p.vci, util::Buf::adopt(p.buf));
+  }
 };
+
+/// Event callback that carries a Frame through the engine inline. The
+/// frame's Buf handle is flattened to Parts (a raw control pointer), which
+/// makes the functor safe to relocate with memcpy — it self-certifies via
+/// sim::InlineFn's kTriviallyRelocatable opt-in and so stays in the event's
+/// inline buffer instead of forcing the heap fallback. The destructor drops
+/// the payload reference if the event is destroyed without firing (engine
+/// teardown), so no frame ever leaks.
+template <typename F>
+class FrameTask {
+ public:
+  static constexpr bool kTriviallyRelocatable = true;
+  static_assert(std::is_trivially_copyable_v<F>,
+                "the wrapped callable must itself be memcpy-relocatable");
+
+  FrameTask(F fn, Frame f) : fn_(fn), parts_(std::move(f).to_parts()) {}
+
+  FrameTask(FrameTask&& o) noexcept : fn_(o.fn_), parts_(o.parts_) {
+    o.parts_.buf = nullptr;
+  }
+  FrameTask(const FrameTask&) = delete;
+  FrameTask& operator=(const FrameTask&) = delete;
+  FrameTask& operator=(FrameTask&&) = delete;
+
+  ~FrameTask() {
+    if (parts_.buf != nullptr) {
+      util::Buf dropped = util::Buf::adopt(parts_.buf);  // releases on scope exit
+    }
+  }
+
+  void operator()() {
+    Frame::Parts p = parts_;
+    parts_.buf = nullptr;
+    fn_(Frame::assemble(p));
+  }
+
+ private:
+  F fn_;
+  Frame::Parts parts_;
+};
+
+template <typename F>
+FrameTask(F, Frame) -> FrameTask<F>;
 
 }  // namespace cni::atm

@@ -216,19 +216,23 @@ void CniBoard::on_frame(atm::Frame frame) {
           cpu.to_cycles_ceil(params_.interrupt_latency) + params_.kernel_recv_cycles;
       host_.steal_cycles(intr_cycles);
       const sim::SimTime dispatch = dma_done + cpu.cycles(intr_cycles);
-      engine_.schedule_at(dispatch, [this, h, f = std::move(frame), dispatch]() {
-        RxContext ctx(*this, dispatch, /*on_nic=*/false);
-        (*h)(ctx, f);
-      });
+      engine_.schedule_at(dispatch, atm::FrameTask(
+                                        [this, h, dispatch](atm::Frame f) {
+                                          RxContext ctx(*this, dispatch, /*on_nic=*/false);
+                                          (*h)(ctx, f);
+                                        },
+                                        std::move(frame)));
       return;
     }
     // Control transfers to the Application Interrupt Handler on the board.
     const sim::SimTime dispatch =
         rx_proc_.occupy(cursor, nic_clock_.cycles(params_.aih_dispatch_cycles));
-    engine_.schedule_at(dispatch, [this, h, f = std::move(frame), dispatch]() {
-      RxContext ctx(*this, dispatch, /*on_nic=*/true);
-      (*h)(ctx, f);
-    });
+    engine_.schedule_at(dispatch, atm::FrameTask(
+                                      [this, h, dispatch](atm::Frame f) {
+                                        RxContext ctx(*this, dispatch, /*on_nic=*/true);
+                                        (*h)(ctx, f);
+                                      },
+                                      std::move(frame)));
     return;
   }
 

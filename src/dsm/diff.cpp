@@ -1,25 +1,64 @@
 #include "dsm/diff.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "util/check.hpp"
 
 namespace cni::dsm {
+namespace {
 
-std::uint64_t Diff::payload_bytes() const {
-  std::uint64_t n = 16;  // writer + run count + clock framing
-  for (const Run& r : runs) n += 8 + r.bytes.size();
-  return n;
+std::uint64_t load_word(const std::byte* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  return w;
 }
 
-void Diff::serialize(ByteWriter& w) const {
-  w.u32(writer);
-  w.clock(vc);
-  w.u32(static_cast<std::uint32_t>(runs.size()));
-  for (const Run& r : runs) {
-    w.u32(r.offset);
-    w.bytes(r.bytes);
+/// Streaming run builder: feed ascending differing byte positions, collect
+/// (offset, arena_off, len) runs obeying the kJoinGap merge rule.
+class RunBuilder {
+ public:
+  explicit RunBuilder(std::vector<Diff::Run>& runs) : runs_(runs) {}
+
+  void diff_at(std::size_t pos) {
+    if (open_ && pos - last_ <= kJoinGap) {
+      last_ = pos;
+      return;
+    }
+    flush();
+    open_ = true;
+    start_ = last_ = pos;
   }
+
+  /// Closes the trailing run; returns total arena bytes across all runs.
+  std::uint64_t finish() {
+    flush();
+    return arena_bytes_;
+  }
+
+ private:
+  void flush() {
+    if (!open_) return;
+    const auto len = static_cast<std::uint32_t>(last_ - start_ + 1);
+    runs_.push_back(Diff::Run{static_cast<std::uint32_t>(start_),
+                              static_cast<std::uint32_t>(arena_bytes_), len});
+    arena_bytes_ += len;
+    open_ = false;
+  }
+
+  std::vector<Diff::Run>& runs_;
+  std::uint64_t arena_bytes_ = 0;
+  std::size_t start_ = 0;
+  std::size_t last_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace
+
+std::uint64_t Diff::payload_bytes() const {
+  ByteCounter c;
+  serialize_to(c);
+  return c.count();
 }
 
 Diff Diff::deserialize(ByteReader& r) {
@@ -28,11 +67,42 @@ Diff Diff::deserialize(ByteReader& r) {
   d.vc = r.clock();
   const std::uint32_t n = r.u32();
   d.runs.reserve(n);
+  if (r.backing()) {
+    // Zero-copy: the runs alias the received frame's payload buffer, pinned
+    // by the shared arena reference for as long as the diff lives.
+    d.arena = r.backing();
+    const std::byte* base = d.arena.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Run run;
+      run.offset = r.u32();
+      const std::span<const std::byte> b = r.bytes();
+      run.arena_off = static_cast<std::uint32_t>(b.data() - base);
+      run.len = static_cast<std::uint32_t>(b.size());
+      d.runs.push_back(run);
+    }
+    return d;
+  }
+  // Bare-span reader (tests, in-memory round-trips): the storage behind the
+  // span has no refcount to share, so gather the runs into a fresh arena.
+  std::vector<std::span<const std::byte>> pieces;
+  pieces.reserve(n);
+  std::uint64_t total = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     Run run;
     run.offset = r.u32();
-    run.bytes = r.bytes();
-    d.runs.push_back(std::move(run));
+    const std::span<const std::byte> b = r.bytes();
+    run.arena_off = static_cast<std::uint32_t>(total);
+    run.len = static_cast<std::uint32_t>(b.size());
+    total += b.size();
+    d.runs.push_back(run);
+    pieces.push_back(b);
+  }
+  if (total > 0) {
+    d.arena = util::BufPool::local().alloc(total);
+    std::byte* out = d.arena.data();
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      std::memcpy(out + d.runs[i].arena_off, pieces[i].data(), pieces[i].size());
+    }
   }
   return d;
 }
@@ -45,40 +115,48 @@ Diff make_diff(std::uint32_t writer, const VectorClock& vc,
   d.vc = vc;
 
   const std::size_t n = twin.size();
-  std::size_t i = 0;
-  constexpr std::size_t kJoinGap = 8;  // merge runs separated by < 8 equal bytes
-  while (i < n) {
-    if (twin[i] == current[i]) {
-      ++i;
-      continue;
-    }
-    // Start of a run; extend while bytes differ or the equal gap is short.
-    std::size_t end = i + 1;
-    std::size_t equal_streak = 0;
-    std::size_t last_diff = i;
-    while (end < n) {
-      if (twin[end] != current[end]) {
-        last_diff = end;
-        equal_streak = 0;
-      } else if (++equal_streak >= kJoinGap) {
-        break;
+  RunBuilder builder(d.runs);
+
+  // Word-wise scan: XOR 64-bit words and only inspect bytes inside words
+  // that differ. countr_zero maps the lowest set XOR bit to its byte lane on
+  // little-endian targets; other targets fall back to a byte compare inside
+  // the (rare) differing word — same positions either way.
+  const std::size_t words = n / 8;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    std::uint64_t x = load_word(twin.data() + wi * 8) ^ load_word(current.data() + wi * 8);
+    if (x == 0) continue;
+    const std::size_t base = wi * 8;
+    if constexpr (std::endian::native == std::endian::little) {
+      while (x != 0) {
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(x)) >> 3;
+        builder.diff_at(base + lane);
+        x &= ~(std::uint64_t{0xFF} << (lane * 8));
       }
-      ++end;
+    } else {
+      for (unsigned k = 0; k < 8; ++k) {
+        if (twin[base + k] != current[base + k]) builder.diff_at(base + k);
+      }
     }
-    Diff::Run run;
-    run.offset = static_cast<std::uint32_t>(i);
-    run.bytes.assign(current.begin() + static_cast<std::ptrdiff_t>(i),
-                     current.begin() + static_cast<std::ptrdiff_t>(last_diff + 1));
-    d.runs.push_back(std::move(run));
-    i = end;
+  }
+  for (std::size_t i = words * 8; i < n; ++i) {
+    if (twin[i] != current[i]) builder.diff_at(i);
+  }
+
+  const std::uint64_t total = builder.finish();
+  if (total > 0) {
+    d.arena = util::BufPool::local().alloc(total);
+    std::byte* out = d.arena.data();
+    for (const Diff::Run& r : d.runs) {
+      std::memcpy(out + r.arena_off, current.data() + r.offset, r.len);
+    }
   }
   return d;
 }
 
 void apply_diff(const Diff& d, std::span<std::byte> page) {
   for (const Diff::Run& r : d.runs) {
-    CNI_CHECK_MSG(r.offset + r.bytes.size() <= page.size(), "diff run outside the page");
-    std::memcpy(page.data() + r.offset, r.bytes.data(), r.bytes.size());
+    CNI_CHECK_MSG(r.offset + r.len <= page.size(), "diff run outside the page");
+    std::memcpy(page.data() + r.offset, d.arena.data() + r.arena_off, r.len);
   }
 }
 

@@ -10,6 +10,11 @@
 
 namespace cni::dsm {
 
+/// Headroom every protocol ByteWriter reserves at the payload front so the
+/// fixed MsgHeader can be patched in place — body bytes serialize exactly
+/// once, straight into the frame's pooled buffer.
+inline constexpr std::size_t kMsgHeadroom = sizeof(nic::MsgHeader);
+
 inline constexpr nic::MsgType kDsmLockReq = nic::kTypeHandlerBase + 0;
 inline constexpr nic::MsgType kDsmLockFwd = nic::kTypeHandlerBase + 1;    ///< home -> last releaser
 inline constexpr nic::MsgType kDsmLockGrant = nic::kTypeHandlerBase + 2;  ///< releaser -> acquirer (+ intervals)

@@ -7,6 +7,7 @@
 #include "dsm/diff.hpp"
 #include "dsm/vector_clock.hpp"
 #include "mem/page.hpp"
+#include "util/buf_pool.hpp"
 
 namespace cni::dsm {
 
@@ -28,8 +29,10 @@ struct PageEntry {
   PageMode mode = PageMode::kInvalid;
   bool ever_valid = false;  ///< page has held a coherent base copy at least once
 
+  // cni-lint: allow(payload-copy): the page frame models host memory itself,
+  // not a wire payload — it is the ground truth payloads are built from.
   std::vector<std::byte> data;   ///< the node's frame (allocated on first touch)
-  std::vector<std::byte> twin;   ///< pre-write image (nonempty while writing)
+  util::Buf twin;                ///< pooled pre-write image (nonempty while writing)
   std::vector<Diff> retained;    ///< own per-interval diffs (exact vc tags)
   std::vector<Notice> pending;   ///< invalidating notices not yet satisfied
 

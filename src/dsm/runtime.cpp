@@ -12,10 +12,11 @@ namespace cni::dsm {
 
 namespace {
 
-/// Reader over a frame's body (the bytes after the MsgHeader).
+/// Reader over a frame's body (the bytes after the MsgHeader). Backed by the
+/// frame's pooled payload, so bytes()/Diff::deserialize alias it by refcount.
 ByteReader body_reader(const atm::Frame& f) {
-  CNI_CHECK(f.payload.size() >= sizeof(nic::MsgHeader));
-  return ByteReader(std::span<const std::byte>(f.payload).subspan(sizeof(nic::MsgHeader)));
+  CNI_CHECK(f.payload.size() >= kMsgHeadroom);
+  return ByteReader(f.payload, kMsgHeadroom);
 }
 
 /// Orders diffs so that happened-before diffs apply first: a simple O(n^2)
@@ -52,7 +53,7 @@ void topo_sort_diffs(std::vector<Diff>& diffs) {
 
 std::uint64_t diff_words(const Diff& d) {
   std::uint64_t bytes = 0;
-  for (const auto& r : d.runs) bytes += r.bytes.size();
+  for (const auto& r : d.runs) bytes += r.len;
   return util::ceil_div<std::uint64_t>(bytes, 8);
 }
 
@@ -112,7 +113,7 @@ std::uint64_t DsmRuntime::page_words() const { return sys_.geometry().size() / 8
 
 atm::Frame DsmRuntime::make_frame(std::uint32_t dst, nic::MsgType type,
                                   std::uint16_t flags, std::uint32_t aux,
-                                  mem::VAddr buffer_va, std::vector<std::byte> payload) {
+                                  mem::VAddr buffer_va, util::Buf payload) {
   nic::MsgHeader h;
   h.type = type;
   h.flags = flags;
@@ -120,11 +121,15 @@ atm::Frame DsmRuntime::make_frame(std::uint32_t dst, nic::MsgType type,
   h.seq = node_.board().next_seq();
   h.aux = aux;
   h.buffer_va = buffer_va;
-  return atm::Frame::make(self_, dst, /*vci=*/1, h, payload);
+  // The body was serialized past kMsgHeadroom (ByteWriter{kMsgHeadroom});
+  // patching the header in front completes the frame with zero copies.
+  CNI_CHECK_MSG(payload.size() >= kMsgHeadroom, "payload built without headroom");
+  std::memcpy(payload.data(), &h, sizeof h);
+  return atm::Frame::adopt(self_, dst, /*vci=*/1, std::move(payload));
 }
 
 void DsmRuntime::send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
-                              std::vector<std::byte> payload) {
+                              util::Buf payload) {
   CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
   node_.cpu().charge_overhead(*thread_, sys_.params().request_build_cycles);
   node_.board().send_from_host(*thread_, make_frame(dst, type, 0, aux, 0, std::move(payload)),
@@ -170,7 +175,10 @@ void DsmRuntime::fault(PageId p, bool write) {
 
 void DsmRuntime::write_upgrade(PageEntry& e, PageId p) {
   if (e.twin.empty()) {
-    e.twin = e.data;  // the pre-write image diffs are computed against
+    // The pre-write image diffs are computed against; pooled, so repeated
+    // twin/close cycles recycle the same block instead of reallocating.
+    e.twin = util::BufPool::local().alloc(e.data.size());
+    std::memcpy(e.twin.data(), e.data.data(), e.data.size());
     node_.cpu().charge_overhead(*thread_,
                                 page_words() * sys_.params().twin_word_cycles);
   }
@@ -232,7 +240,7 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
     fetch_.want_base = true;
     fetch_.base_from = from;
     ++st.pages_fetched;
-    ByteWriter w;
+    ByteWriter w(kMsgHeadroom);
     w.u64(p);
     w.u32(self_);
     send_request(from, kDsmPageReq, fetch_.req_id, w.take());
@@ -256,7 +264,7 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
     if (w == fetch_.base_from) continue;
     if (n.index <= fetch_.floor[w]) continue;
     ++fetch_.diffs_wanted;
-    ByteWriter wr;
+    ByteWriter wr(kMsgHeadroom);
     wr.u64(p);
     wr.u32(self_);
     // Ask for exactly the interval window (floor, target]. Shipping
@@ -281,6 +289,8 @@ void DsmRuntime::apply_fetch_results(PageEntry& e) {
   auto& st = node_.cpu().stats();
 
   if (fetch_.base_done) {
+    // One copy, from the received frame's buffer straight into the page
+    // frame — the payload was never duplicated on the way here.
     CNI_CHECK(fetch_.base.size() == e.data.size());
     std::memcpy(e.data.data(), fetch_.base.data(), e.data.size());
     // The shipped content clock is per-writer precise and causally closed.
@@ -330,8 +340,7 @@ void DsmRuntime::apply_fetch_results(PageEntry& e) {
 void DsmRuntime::snapshot_own_diff(PageEntry& e, const VectorClock& tag) {
   if (e.twin.empty()) return;
   Diff own = make_diff(self_, tag, e.twin, e.data);
-  e.twin.clear();
-  e.twin.shrink_to_fit();
+  e.twin.reset();  // the block returns to the pool for the next twin
   if (own.runs.empty()) return;
   // Shadow subtraction keeps every byte in exactly one retained diff — the
   // newest that wrote it. Soundness: a requester could only need the *old*
@@ -349,29 +358,28 @@ void DsmRuntime::snapshot_own_diff(PageEntry& e, const VectorClock& tag) {
 }
 
 void DsmRuntime::subtract_shadowed(Diff& older, const Diff& newer) {
+  // Runs are views into the diff's shared arena, so splitting one is pure
+  // index arithmetic — the remainders keep pointing at the same bytes.
   for (const Diff::Run& n : newer.runs) {
     const std::uint64_t ns = n.offset;
-    const std::uint64_t ne = n.offset + n.bytes.size();
+    const std::uint64_t ne = n.offset + n.len;
     std::vector<Diff::Run> kept;
     kept.reserve(older.runs.size());
-    for (Diff::Run& o : older.runs) {
+    for (const Diff::Run& o : older.runs) {
       const std::uint64_t os = o.offset;
-      const std::uint64_t oe = o.offset + o.bytes.size();
+      const std::uint64_t oe = o.offset + o.len;
       if (oe <= ns || os >= ne) {
-        kept.push_back(std::move(o));
+        kept.push_back(o);
         continue;
       }
       if (os < ns) {  // left remainder survives
-        Diff::Run left;
-        left.offset = o.offset;
-        left.bytes.assign(o.bytes.begin(), o.bytes.begin() + static_cast<std::ptrdiff_t>(ns - os));
-        kept.push_back(std::move(left));
+        kept.push_back(Diff::Run{o.offset, o.arena_off,
+                                 static_cast<std::uint32_t>(ns - os)});
       }
       if (oe > ne) {  // right remainder survives
-        Diff::Run right;
-        right.offset = static_cast<std::uint32_t>(ne);
-        right.bytes.assign(o.bytes.begin() + static_cast<std::ptrdiff_t>(ne - os), o.bytes.end());
-        kept.push_back(std::move(right));
+        kept.push_back(Diff::Run{static_cast<std::uint32_t>(ne),
+                                 o.arena_off + static_cast<std::uint32_t>(ne - os),
+                                 static_cast<std::uint32_t>(oe - ne)});
       }
     }
     older.runs = std::move(kept);
@@ -430,10 +438,10 @@ std::size_t DsmRuntime::process_incoming_interval(const Interval& iv) {
   return iv.pages.size();
 }
 
-std::vector<std::byte> DsmRuntime::build_interval_payload(
+util::Buf DsmRuntime::build_interval_payload(
     const VectorClock& rvc, std::size_t* interval_count) const {
   const std::vector<const Interval*> unseen = store_.unseen_by(rvc);
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.clock(vc_);
   w.u32(static_cast<std::uint32_t>(unseen.size()));
   for (const Interval* iv : unseen) iv->serialize(w);
@@ -451,7 +459,7 @@ void DsmRuntime::acquire(std::uint32_t lock) {
   node_.cpu().sync(*thread_);
   ++node_.cpu().stats().lock_acquires;
   lock_granted_ = false;
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u32(lock);
   w.u32(self_);
   w.clock(vc_);
@@ -465,7 +473,7 @@ void DsmRuntime::release(std::uint32_t lock) {
   CNI_LOG_DEBUG("n%u release(%u)", self_, lock);
   node_.cpu().sync(*thread_);
   close_interval();
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u32(lock);
   w.u32(self_);
   send_request(sys_.lock_home(lock), kDsmLockRel, lock, w.take());
@@ -490,7 +498,7 @@ void DsmRuntime::on_lock_req(Ctx& ctx, const atm::Frame& f) {
   if (!L.has_releaser || L.last_releaser == requester) {
     // First acquire ever, or re-acquire by the very node that released last:
     // nothing new to propagate, grant straight from the home.
-    ByteWriter w;
+    ByteWriter w(kMsgHeadroom);
     w.clock(rvc);
     w.u32(0);
     ctx.send(make_frame(requester, kDsmLockGrant, 0, lock, 0, w.take()),
@@ -499,7 +507,7 @@ void DsmRuntime::on_lock_req(Ctx& ctx, const atm::Frame& f) {
   }
   // Forward to the last releaser, which grants directly to the requester
   // with the intervals the requester has not seen.
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u32(lock);
   w.u32(requester);
   w.clock(rvc);
@@ -513,7 +521,7 @@ void DsmRuntime::on_lock_fwd(Ctx& ctx, const atm::Frame& f) {
   const std::uint32_t requester = r.u32();
   const VectorClock rvc = r.clock();
   std::size_t count = 0;
-  std::vector<std::byte> payload = build_interval_payload(rvc, &count);
+  util::Buf payload = build_interval_payload(rvc, &count);
   ctx.charge(sys_.params().handler_base_cycles +
              count * sys_.params().handler_per_interval_cycles);
   ctx.send(make_frame(requester, kDsmLockGrant, 0, lock, 0, std::move(payload)),
@@ -562,7 +570,7 @@ void DsmRuntime::on_lock_rel(Ctx& ctx, const atm::Frame& f) {
   auto [next, nvc] = std::move(L.waiters.front());
   L.waiters.pop_front();
   L.holder = next;
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u32(lock);
   w.u32(next);
   w.clock(nvc);
@@ -582,7 +590,7 @@ void DsmRuntime::barrier() {
   barrier_released_ = false;
 
   const std::vector<const Interval*> unseen = store_.unseen_by(last_barrier_vc_);
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u32(self_);
   w.clock(vc_);
   w.u32(static_cast<std::uint32_t>(unseen.size()));
@@ -620,7 +628,7 @@ void DsmRuntime::on_bar_arrive(Ctx& ctx, const atm::Frame& f) {
   for (const VectorClock& v : M.node_vcs) global.merge(v);
   for (std::uint32_t n = 0; n < nprocs_; ++n) {
     const std::vector<const Interval*> unseen = M.store.unseen_by(M.node_vcs[n]);
-    ByteWriter w;
+    ByteWriter w(kMsgHeadroom);
     w.clock(global);
     w.u32(static_cast<std::uint32_t>(unseen.size()));
     for (const Interval* iv : unseen) iv->serialize(w);
@@ -668,7 +676,9 @@ void DsmRuntime::on_page_req(Ctx& ctx, const atm::Frame& f) {
 
   PageEntry& e = entry(page);
   if (e.content_vc.size() == 0) e.content_vc = VectorClock(nprocs_);
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
+  // Page replies dominate payload volume; size the buffer once up front.
+  w.reserve(kMsgHeadroom + 8 + 4 + 4 * (e.content_vc.size() + 1) + 4 + e.data.size());
   w.u64(page);
   w.clock(e.content_vc);  // what this copy is known to contain, per writer
   w.bytes(e.data);
@@ -687,15 +697,18 @@ void DsmRuntime::on_page_reply(Ctx& ctx, const atm::Frame& f) {
   ByteReader r = body_reader(f);
   const PageId page = r.u64();
   VectorClock content = r.clock();
-  std::vector<std::byte> data = r.bytes();
+  // Zero-copy: `data` views the received frame's payload; `keep` pins that
+  // pooled buffer by refcount until apply_fetch_results consumes it.
+  const std::span<const std::byte> data = r.bytes();
   CNI_CHECK_MSG(fetch_.active && fetch_.req_id == hdr.aux && fetch_.page == page,
                 "page reply does not match the outstanding fetch");
   ctx.charge(sys_.params().handler_base_cycles);
   ctx.transfer_to_host(va_of_page(page), data.size());
   sys_.cluster().engine().schedule_at(
       ctx.cursor(),
-      [this, data = std::move(data), content = std::move(content)]() mutable {
-        fetch_.base = std::move(data);
+      [this, data, keep = r.backing(), content = std::move(content)]() mutable {
+        fetch_.base = data;
+        fetch_.base_keep = std::move(keep);
         fetch_.base_vc = std::move(content);
         fetch_.base_done = true;
         if (fetch_.diffs_got == fetch_.diffs_wanted) {
@@ -730,7 +743,7 @@ void DsmRuntime::on_diff_req(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              words * sys_.params().diff_word_cycles);
 
-  ByteWriter w;
+  ByteWriter w(kMsgHeadroom);
   w.u64(page);
   w.u32(static_cast<std::uint32_t>(ds.size()));
   for (const Diff& d : ds) d.serialize(w);

@@ -28,6 +28,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "atm/packet.hpp"
@@ -122,18 +123,20 @@ class DsmRuntime {
   /// subtraction: each byte lives in exactly one retained diff).
   static void subtract_shadowed(Diff& older, const Diff& newer);
 
-  /// Builds a grant-style payload: releaser clock + intervals unseen by rvc.
-  std::vector<std::byte> build_interval_payload(const VectorClock& rvc,
-                                                std::size_t* interval_count) const;
+  /// Builds a grant-style payload (kMsgHeadroom-fronted): releaser clock +
+  /// intervals unseen by rvc.
+  util::Buf build_interval_payload(const VectorClock& rvc,
+                                   std::size_t* interval_count) const;
 
+  /// Patches the message header into `payload`'s kMsgHeadroom front bytes
+  /// and wraps it as a frame — the pooled buffer IS the frame payload.
   atm::Frame make_frame(std::uint32_t dst, nic::MsgType type, std::uint16_t flags,
-                        std::uint32_t aux, mem::VAddr buffer_va,
-                        std::vector<std::byte> payload);
+                        std::uint32_t aux, mem::VAddr buffer_va, util::Buf payload);
 
   /// Sends a protocol request from the application thread (charges the
   /// request-build cost plus the board's host-side send cost).
   void send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
-                    std::vector<std::byte> payload);
+                    util::Buf payload);
 
   [[nodiscard]] mem::VAddr va_of_page(PageId p) const;
   [[nodiscard]] std::uint64_t page_words() const;
@@ -167,7 +170,8 @@ class DsmRuntime {
     VectorClock floor;    ///< per-writer content floor (filters shipped diffs)
     std::uint32_t diffs_wanted = 0;
     std::uint32_t diffs_got = 0;
-    std::vector<std::byte> base;
+    util::Buf base_keep;              ///< pins the reply payload `base` views
+    std::span<const std::byte> base;  ///< shipped page image (zero-copy)
     std::vector<Diff> diffs;
     bool complete = false;
   };

@@ -4,20 +4,45 @@
 // replies) have variable-length bodies; these helpers lay them out after the
 // fixed MsgHeader so the frames that cross the simulated wire carry real,
 // parseable bytes — their sizes drive the ATM cell counts and DMA costs.
+//
+// ByteWriter serializes straight into pooled storage (util::Buf): a writer
+// opened with `headroom` leaves that many bytes unwritten at the front, so
+// the frame header is patched in place and `take()` hands the finished
+// payload to atm::Frame::adopt with zero copies. ByteReader is a
+// non-owning view; when constructed over a Buf it can hand out sub-views
+// that share the backing buffer by refcount (zero-copy deserialization).
+// ByteCounter mirrors the writer's framing arithmetic without writing, so
+// size accounting (Diff::payload_bytes) is derived from the one true
+// serializer and cannot drift.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <vector>
 
 #include "dsm/vector_clock.hpp"
+#include "util/buf_pool.hpp"
 #include "util/check.hpp"
 
 namespace cni::dsm {
 
 class ByteWriter {
  public:
+  ByteWriter() : ByteWriter(0) {}
+
+  /// Opens a writer whose first `headroom` bytes are reserved for a header
+  /// to be patched in later (they count toward the taken buffer's size).
+  explicit ByteWriter(std::size_t headroom) : size_(headroom) {
+    buf_ = util::BufPool::local().alloc(size_ < kInitialBytes ? kInitialBytes : size_);
+  }
+
+  /// Pre-sizes the backing buffer for `total` bytes (headroom included).
+  /// Callers that know the payload size up front (page replies) skip the
+  /// grow-and-copy the doubling policy would otherwise pay.
+  void reserve(std::size_t total) {
+    if (total > buf_.capacity()) grow(total);
+  }
+
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
 
@@ -35,20 +60,66 @@ class ByteWriter {
     for (std::size_t i = 0; i < vc.size(); ++i) u32(vc[i]);
   }
 
-  [[nodiscard]] const std::vector<std::byte>& data() const { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  /// Bytes written so far, including any headroom.
+  [[nodiscard]] std::span<const std::byte> data() const {
+    return buf_.span().first(size_);
+  }
+
+  /// Hands the payload out (headroom + serialized bytes). The writer is
+  /// empty afterwards.
+  [[nodiscard]] util::Buf take() {
+    buf_.set_size(size_);
+    size_ = 0;
+    return std::move(buf_);
+  }
 
  private:
+  static constexpr std::size_t kInitialBytes = 256;
+
   void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    if (n == 0) return;  // also keeps memcpy off a never-allocated buffer
+    if (size_ + n > buf_.capacity()) grow(size_ + n);
+    std::byte* dst = buf_.data();
+    CNI_CHECK(dst != nullptr);  // grow() guarantees a backing block
+    std::memcpy(dst + size_, p, n);
+    size_ += n;
   }
-  std::vector<std::byte> buf_;
+
+  void grow(std::size_t need) {
+    std::size_t cap = buf_.capacity() * 2;
+    if (cap < need) cap = need;
+    util::Buf bigger = util::BufPool::local().alloc(cap);
+    std::memcpy(bigger.data(), buf_.data(), size_);
+    buf_ = std::move(bigger);
+  }
+
+  util::Buf buf_;
+  std::size_t size_ = 0;
+};
+
+/// Counts the bytes ByteWriter would emit, via the identical interface.
+/// Serializers templated over the writer type get size accounting for free
+/// (see Diff::payload_bytes) with no second framing constant to drift.
+class ByteCounter {
+ public:
+  void u32(std::uint32_t) { n_ += 4; }
+  void u64(std::uint64_t) { n_ += 8; }
+  void bytes(std::span<const std::byte> b) { n_ += 4 + b.size(); }
+  void clock(const VectorClock& vc) { n_ += 4 + 4 * vc.size(); }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
 };
 
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  /// A reader over `backing`'s bytes starting at `offset`. Sub-views handed
+  /// out by bytes() share `backing` by refcount via backing().
+  ByteReader(const util::Buf& backing, std::size_t offset)
+      : buf_(backing.span().subspan(offset)), backing_(backing) {}
 
   std::uint32_t u32() {
     std::uint32_t v;
@@ -62,11 +133,12 @@ class ByteReader {
     return v;
   }
 
-  std::vector<std::byte> bytes() {
+  /// A view of the next length-prefixed byte run. Valid while the underlying
+  /// storage lives; hold backing() (when non-empty) to pin it.
+  std::span<const std::byte> bytes() {
     const std::uint32_t n = u32();
     CNI_CHECK_MSG(pos_ + n <= buf_.size(), "truncated DSM payload");
-    std::vector<std::byte> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    std::span<const std::byte> out = buf_.subspan(pos_, n);
     pos_ += n;
     return out;
   }
@@ -78,6 +150,10 @@ class ByteReader {
     return vc;
   }
 
+  /// The refcounted buffer the views point into (empty when the reader was
+  /// built over a bare span).
+  [[nodiscard]] const util::Buf& backing() const { return backing_; }
+
   [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
   [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
 
@@ -88,6 +164,7 @@ class ByteReader {
     pos_ += n;
   }
   std::span<const std::byte> buf_;
+  util::Buf backing_;
   std::size_t pos_ = 0;
 };
 

@@ -128,6 +128,8 @@ class NicBoard {
   /// A protocol handler (the DSM runtime installs these). On the CNI this is
   /// the Application Interrupt Handler object code; on the standard board the
   /// same logic runs on the host after an interrupt.
+  // cni-lint: allow(hot-path-alloc): handlers are installed once at setup;
+  // per-frame dispatch captures only the stable Handler* (atm::FrameTask).
   using Handler = std::function<void(RxContext&, const atm::Frame&)>;
 
   virtual ~NicBoard() = default;

@@ -17,14 +17,14 @@ OsirisBoard::OsirisBoard(sim::Engine& engine, atm::Fabric& fabric, HostSystem& h
 
 void OsirisBoard::install_handler(MsgType type, Handler handler, std::uint64_t code_bytes) {
   (void)code_bytes;  // the CNI override accounts handler memory; the base keeps the map
-  CNI_CHECK_MSG(handlers_.find(type) == handlers_.end(), "handler type already installed");
-  handlers_.emplace(type, std::move(handler));
+  CNI_CHECK_MSG(handlers_.find(type) == nullptr, "handler type already installed");
+  handlers_.insert(type, std::move(handler));
 }
 
 void OsirisBoard::bind_channel(MsgType type, sim::SimChannel<atm::Frame>* channel) {
   CNI_CHECK(channel != nullptr);
-  CNI_CHECK_MSG(channels_.find(type) == channels_.end(), "channel type already bound");
-  channels_.emplace(type, channel);
+  CNI_CHECK_MSG(channels_.find(type) == nullptr, "channel type already bound");
+  channels_.insert(type, channel);
 }
 
 sim::SimDuration OsirisBoard::sar_time(std::uint64_t bytes) const {
@@ -33,20 +33,20 @@ sim::SimDuration OsirisBoard::sar_time(std::uint64_t bytes) const {
 }
 
 NicBoard::Handler* OsirisBoard::find_handler(MsgType type) {
-  auto it = handlers_.find(type);
-  return it == handlers_.end() ? nullptr : &it->second;
+  return handlers_.find(type);
 }
 
 sim::SimChannel<atm::Frame>* OsirisBoard::find_channel(MsgType type) {
-  auto it = channels_.find(type);
-  return it == channels_.end() ? nullptr : it->second;
+  sim::SimChannel<atm::Frame>** slot = channels_.find(type);
+  return slot == nullptr ? nullptr : *slot;
 }
 
 void OsirisBoard::deliver_to_channel(sim::SimTime t, atm::Frame frame) {
   const MsgHeader hdr = frame.header<MsgHeader>();
   sim::SimChannel<atm::Frame>* ch = find_channel(hdr.type);
   CNI_CHECK_MSG(ch != nullptr, "frame arrived for an unbound app message type");
-  engine_.schedule_at(t, [ch, f = std::move(frame)]() mutable { ch->send(std::move(f)); });
+  engine_.schedule_at(
+      t, atm::FrameTask([ch](atm::Frame f) { ch->send(std::move(f)); }, std::move(frame)));
 }
 
 }  // namespace cni::nic

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "atm/fabric.hpp"
 #include "nic/board.hpp"
+#include "util/flat_map.hpp"
 
 namespace cni::nic {
 
@@ -53,8 +53,11 @@ class OsirisBoard : public NicBoard {
   sim::ServiceQueue rx_proc_;  ///< receive processor occupancy
 
  private:
-  std::unordered_map<MsgType, Handler> handlers_;
-  std::unordered_map<MsgType, sim::SimChannel<atm::Frame>*> channels_;
+  // Flat maps: demultiplexing runs once per received frame, and the maps
+  // only grow at setup (install/bind), so find_handler's returned pointers
+  // stay stable for the whole simulation.
+  util::U64FlatMap<Handler> handlers_;
+  util::U64FlatMap<sim::SimChannel<atm::Frame>*> channels_;
   std::uint32_t seq_ = 1;
 };
 

@@ -73,10 +73,12 @@ void StandardNic::on_frame(atm::Frame frame) {
 
   const MsgHeader hdr = frame.header<MsgHeader>();
   if (Handler* h = find_handler(hdr.type); h != nullptr) {
-    engine_.schedule_at(dispatch, [this, h, f = std::move(frame), dispatch]() {
-      RxContext ctx(*this, dispatch, /*on_nic=*/false);
-      (*h)(ctx, f);
-    });
+    engine_.schedule_at(dispatch, atm::FrameTask(
+                                      [this, h, dispatch](atm::Frame f) {
+                                        RxContext ctx(*this, dispatch, /*on_nic=*/false);
+                                        (*h)(ctx, f);
+                                      },
+                                      std::move(frame)));
     return;
   }
   deliver_to_channel(dispatch, std::move(frame));

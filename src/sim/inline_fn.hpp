@@ -28,6 +28,18 @@
 
 namespace cni::sim {
 
+/// Opt-in marker for callables that are safe to relocate with memcpy even
+/// though they have a destructor (e.g. functors carrying a util::Buf raw
+/// handle). A type declares `static constexpr bool kTriviallyRelocatable =
+/// true;` to promise that a byte-copy followed by abandoning the source (its
+/// destructor will NOT run) is equivalent to a move. InlineFn stores such
+/// callables inline and runs their destructor exactly once.
+template <typename Fn, typename = void>
+struct IsDeclaredTriviallyRelocatable : std::false_type {};
+template <typename Fn>
+struct IsDeclaredTriviallyRelocatable<
+    Fn, std::enable_if_t<Fn::kTriviallyRelocatable>> : std::true_type {};
+
 class InlineFn {
  public:
   /// Inline capacity: fits a lambda capturing six pointers/words, which
@@ -41,12 +53,19 @@ class InlineFn {
                                         std::is_invocable_r_v<void, std::decay_t<F>&>>>
   InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
     using Fn = std::decay_t<F>;
-    if constexpr (std::is_trivially_copyable_v<Fn> && sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t)) {
+    constexpr bool fits =
+        sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t);
+    if constexpr (std::is_trivially_copyable_v<Fn> && fits) {
       // cni-lint: allow(hot-path-alloc): placement new into the inline
       // buffer — no heap allocation happens on this branch.
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = inline_ops<Fn>();
+    } else if constexpr (IsDeclaredTriviallyRelocatable<Fn>::value && fits) {
+      // cni-lint: allow(hot-path-alloc): placement new into the inline
+      // buffer — no heap allocation happens on this branch either; the
+      // callable self-certifies memcpy relocation and gets a destructor call.
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_dtor_ops<Fn>();
     } else {
       // cni-lint: allow(hot-path-alloc): deliberate cold-path fallback for
       // outsized/non-trivial captures; hot-path callbacks stay inline.
@@ -55,6 +74,12 @@ class InlineFn {
     }
   }
 
+  // Relocation reads the whole fixed-size buffer, including bytes past the
+  // stored callable that were never written; GCC's -Wmaybe-uninitialized
+  // flags that read under heavy inlining, but it is by construction benign
+  // (the tail bytes are never interpreted).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
     // Relocation is a raw copy in both storage modes: inline callables are
     // trivially copyable and the heap mode keeps only a pointer in buf_.
@@ -71,6 +96,7 @@ class InlineFn {
     }
     return *this;
   }
+#pragma GCC diagnostic pop
 
   InlineFn(const InlineFn&) = delete;
   InlineFn& operator=(const InlineFn&) = delete;
@@ -100,6 +126,15 @@ class InlineFn {
     static constexpr Ops ops = {
         [](void* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
         nullptr,
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* inline_dtor_ops() {
+    static constexpr Ops ops = {
+        [](void* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+        [](void* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
     };
     return &ops;
   }

@@ -1,0 +1,340 @@
+// Pooled, intrusively ref-counted payload buffers — the zero-copy data path.
+//
+// Every simulated frame, DSM payload and diff arena is a `Buf`: a handle to
+// a block whose control word (refcount, size class, owner) lives immediately
+// before the data. Copying a Buf bumps the refcount, so one buffer is shared
+// across transmit, Message Cache binding and delivery instead of being
+// memcpy'd at every layer boundary. Blocks come from per-thread size-classed
+// freelists, so the steady-state frame send/receive loop performs no heap
+// allocation at all.
+//
+// Threading model (matches apps::parallel_indexed): each sweep job runs one
+// self-contained simulation on its own thread, so allocation and release
+// almost always happen on the owning thread and hit the lock-free local
+// freelists. A block released from a *different* thread is pushed onto its
+// owner pool's remote-free stack (a Treiber stack, the only cross-thread
+// structure); the owner reclaims the whole stack — "refurbishing" — the next
+// time a local freelist misses.
+//
+// Pool lifetime: the pool holds one self-reference in its live-block
+// counter. Thread exit drops that reference; whichever thread drops the
+// counter to zero (the exiting owner, or the last remote releaser) purges
+// the freelists and deletes the pool. This makes cross-thread release safe
+// even after the owning thread is gone.
+//
+// Determinism: pooling changes *where* payload bytes live, never their
+// values or any simulated timing, so figure outputs are bit-identical to the
+// copying data path.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cni::util {
+
+class BufPool;
+
+/// Control block preceding a buffer's data bytes. `sizeof(BufCtrl)` is a
+/// multiple of max_align_t alignment so the data area keeps full alignment.
+struct alignas(std::max_align_t) BufCtrl {
+  std::atomic<std::uint32_t> refs;
+  std::uint32_t size_class;  ///< kUnpooledClass: exact heap block, never pooled
+  std::uint64_t capacity;    ///< data bytes available
+  std::uint64_t size;        ///< logical payload length
+  BufPool* owner;            ///< pool the block came from (nullptr: unpooled)
+  BufCtrl* next;             ///< freelist / remote-stack link
+
+  [[nodiscard]] std::byte* data() noexcept {
+    return reinterpret_cast<std::byte*>(this + 1);
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return reinterpret_cast<const std::byte*>(this + 1);
+  }
+};
+
+/// Ref-counted handle to pooled storage. Copy shares (refcount bump), move
+/// steals. `release()`/`adopt()` convert to and from a raw BufCtrl* so a
+/// trivially-relocatable event callback can carry a buffer through the
+/// engine without the heap fallback (see sim/inline_fn.hpp).
+class Buf {
+ public:
+  Buf() noexcept = default;
+  Buf(const Buf& o) noexcept : c_(o.c_) { retain(c_); }
+  Buf(Buf&& o) noexcept : c_(std::exchange(o.c_, nullptr)) {}
+  Buf& operator=(const Buf& o) noexcept {
+    if (this != &o) {
+      retain(o.c_);
+      drop(std::exchange(c_, o.c_));
+    }
+    return *this;
+  }
+  Buf& operator=(Buf&& o) noexcept {
+    if (this != &o) drop(std::exchange(c_, std::exchange(o.c_, nullptr)));
+    return *this;
+  }
+  ~Buf() { drop(c_); }
+
+  [[nodiscard]] bool empty() const noexcept { return c_ == nullptr || c_->size == 0; }
+  [[nodiscard]] explicit operator bool() const noexcept { return c_ != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return c_ == nullptr ? 0 : c_->size; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return c_ == nullptr ? 0 : c_->capacity;
+  }
+
+  [[nodiscard]] std::byte* data() noexcept { return c_ == nullptr ? nullptr : c_->data(); }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return c_ == nullptr ? nullptr : c_->data();
+  }
+
+  [[nodiscard]] std::span<std::byte> span() noexcept { return {data(), size()}; }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept { return {data(), size()}; }
+  // NOLINTNEXTLINE(google-explicit-constructor): a Buf *is* a byte view
+  operator std::span<const std::byte>() const noexcept { return span(); }
+
+  /// Shrinks or grows the logical length within the block's capacity.
+  void set_size(std::size_t n) {
+    CNI_CHECK(c_ != nullptr && n <= c_->capacity);
+    c_->size = n;
+  }
+
+  /// True iff this handle is the only owner (safe to mutate a shared block).
+  [[nodiscard]] bool unique() const noexcept {
+    return c_ != nullptr && c_->refs.load(std::memory_order_acquire) == 1;
+  }
+
+  [[nodiscard]] std::uint32_t ref_count() const noexcept {
+    return c_ == nullptr ? 0 : c_->refs.load(std::memory_order_acquire);
+  }
+
+  void reset() noexcept { drop(std::exchange(c_, nullptr)); }
+
+  /// Transfers this handle's reference out as a raw pointer (no ref change).
+  [[nodiscard]] BufCtrl* release() noexcept { return std::exchange(c_, nullptr); }
+
+  /// Re-wraps a pointer from release(), taking over its reference.
+  [[nodiscard]] static Buf adopt(BufCtrl* c) noexcept { return Buf(c); }
+
+ private:
+  friend class BufPool;
+  explicit Buf(BufCtrl* c) noexcept : c_(c) {}
+
+  static void retain(BufCtrl* c) noexcept {
+    if (c != nullptr) c->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void drop(BufCtrl* c) noexcept;
+
+  BufCtrl* c_ = nullptr;
+};
+
+/// Size-classed per-thread buffer pool. See the file comment for the
+/// threading and lifetime model.
+class BufPool {
+ public:
+  /// Size classes: powers of two, 64 B .. 64 KiB. Larger requests fall back
+  /// to exact heap blocks that bypass the freelists.
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = 64 * 1024;
+  static constexpr std::uint32_t kClassCount = 11;  // log2(64K/64) + 1
+  static constexpr std::uint32_t kUnpooledClass = 0xFFFFFFFF;
+
+  struct Stats {
+    std::uint64_t hits = 0;          ///< allocations served from a local freelist
+    std::uint64_t misses = 0;        ///< allocations that went to the heap
+    std::uint64_t refurbished = 0;   ///< blocks reclaimed from the remote stack
+    std::uint64_t remote_frees = 0;  ///< releases that arrived from another thread
+    std::uint64_t outstanding = 0;   ///< live pooled blocks owned by this pool
+  };
+
+  BufPool() = default;
+  BufPool(const BufPool&) = delete;
+  BufPool& operator=(const BufPool&) = delete;
+
+  /// The calling thread's pool.
+  static BufPool& local() noexcept;
+
+  /// Allocates a buffer of logical size `n` (contents uninitialized).
+  [[nodiscard]] Buf alloc(std::size_t n) {
+    const std::uint32_t sc = class_of(n);
+    if (sc == kUnpooledClass) {
+      ++hits_misses_[1];
+      return Buf(heap_block(n, n, sc, nullptr));
+    }
+    BufCtrl*& head = free_[sc];
+    if (head == nullptr) refurbish();
+    if (head != nullptr) {
+      BufCtrl* c = head;
+      head = c->next;
+      c->next = nullptr;
+      c->refs.store(1, std::memory_order_relaxed);
+      c->size = n;
+      ++hits_misses_[0];
+      live_.fetch_add(1, std::memory_order_relaxed);
+      return Buf(c);
+    }
+    ++hits_misses_[1];
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return Buf(heap_block(n, kMinClassBytes << sc, sc, this));
+  }
+
+  /// Allocates a zero-filled buffer.
+  [[nodiscard]] Buf alloc_zeroed(std::size_t n) {
+    Buf b = alloc(n);
+    std::memset(b.data(), 0, n);
+    return b;
+  }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.hits = hits_misses_[0];
+    s.misses = hits_misses_[1];
+    s.refurbished = refurbished_;
+    s.remote_frees = remote_frees_.load(std::memory_order_relaxed);
+    const std::int64_t live = live_.load(std::memory_order_relaxed) - 1;
+    s.outstanding = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+    return s;
+  }
+
+  /// Maps a byte count to its size class (kUnpooledClass when too large).
+  [[nodiscard]] static std::uint32_t class_of(std::size_t n) noexcept {
+    if (n > kMaxClassBytes) return kUnpooledClass;
+    const std::size_t want = n < kMinClassBytes ? kMinClassBytes : n;
+    return static_cast<std::uint32_t>(
+        std::bit_width(want - 1) - (std::bit_width(kMinClassBytes) - 1));
+  }
+
+ private:
+  friend class Buf;
+  friend struct BufPoolTls;
+
+  /// Returns a dead block to its owning pool (or the heap). Runs on whatever
+  /// thread dropped the last reference.
+  static void release(BufCtrl* c) noexcept;
+
+  /// Drops the pool's self-reference (thread exit) or a block's reference,
+  /// deleting the pool when the count hits zero. Exactly one caller observes
+  /// zero, so there is exactly one deleter.
+  static void unref_pool(BufPool* p) noexcept {
+    if (p->live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      p->purge_freelists();
+      delete p;  // cni-lint note: cold path, runs once per pool lifetime
+    }
+  }
+
+  /// Drains the remote-free stack into the local freelists.
+  void refurbish() noexcept {
+    BufCtrl* c = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    while (c != nullptr) {
+      BufCtrl* next = c->next;
+      c->next = free_[c->size_class];
+      free_[c->size_class] = c;
+      ++refurbished_;
+      c = next;
+    }
+  }
+
+  [[nodiscard]] static BufCtrl* heap_block(std::size_t n, std::size_t cap,
+                                           std::uint32_t sc, BufPool* owner) {
+    auto* c = static_cast<BufCtrl*>(::operator new(sizeof(BufCtrl) + cap));
+    c->refs.store(1, std::memory_order_relaxed);
+    c->size_class = sc;
+    c->capacity = cap;
+    c->size = n;
+    c->owner = owner;
+    c->next = nullptr;
+    return c;
+  }
+
+  static void free_block(BufCtrl* c) noexcept { ::operator delete(c); }
+
+  /// Frees every freelisted block. Only called with exclusive access: by the
+  /// single deleter elected in unref_pool.
+  void purge_freelists() noexcept {
+    refurbish();
+    for (BufCtrl*& head : free_) {
+      while (head != nullptr) free_block(std::exchange(head, head->next));
+    }
+  }
+
+  BufCtrl* free_[kClassCount] = {};
+  std::uint64_t hits_misses_[2] = {0, 0};
+  std::uint64_t refurbished_ = 0;
+
+  std::atomic<BufCtrl*> remote_free_{nullptr};
+  std::atomic<std::uint64_t> remote_frees_{0};
+  /// Live pooled blocks + 1 self-reference held until the thread exits.
+  std::atomic<std::int64_t> live_{1};
+};
+
+namespace detail {
+/// Raw TLS pointer (not a function-local static) so release() can test
+/// "is the owner the current thread?" without re-initializing TLS during
+/// thread teardown.
+inline thread_local BufPool* tls_buf_pool = nullptr;
+}  // namespace detail
+
+/// Thread-exit hook: drops the pool's self-reference. Blocks still alive
+/// keep the pool object valid until their last release.
+struct BufPoolTls {
+  BufPool* pool = nullptr;
+  BufPoolTls() = default;
+  BufPoolTls(const BufPoolTls&) = delete;
+  BufPoolTls& operator=(const BufPoolTls&) = delete;
+  ~BufPoolTls() {
+    if (pool != nullptr) {
+      detail::tls_buf_pool = nullptr;
+      BufPool::unref_pool(pool);
+    }
+  }
+};
+
+inline BufPool& BufPool::local() noexcept {
+  thread_local BufPoolTls tls;
+  if (detail::tls_buf_pool == nullptr) {
+    // cni-lint note: one pool per thread lifetime, deleted by unref_pool.
+    tls.pool = new BufPool();
+    detail::tls_buf_pool = tls.pool;
+  }
+  return *detail::tls_buf_pool;
+}
+
+inline void BufPool::release(BufCtrl* c) noexcept {
+  BufPool* owner = c->owner;
+  if (owner == nullptr) {  // unpooled oversize block
+    free_block(c);
+    return;
+  }
+  if (owner == detail::tls_buf_pool) {
+    // Same-thread release: straight onto the local freelist.
+    c->next = owner->free_[c->size_class];
+    owner->free_[c->size_class] = c;
+    owner->live_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  // Cross-thread release: push onto the owner's remote stack, then drop the
+  // block's pool reference. The push strictly precedes the unref, so the
+  // pool cannot be deleted under a pusher.
+  owner->remote_frees_.fetch_add(1, std::memory_order_relaxed);
+  BufCtrl* head = owner->remote_free_.load(std::memory_order_relaxed);
+  do {
+    c->next = head;
+  } while (!owner->remote_free_.compare_exchange_weak(
+      head, c, std::memory_order_release, std::memory_order_relaxed));
+  unref_pool(owner);
+}
+
+inline void Buf::drop(BufCtrl* c) noexcept {
+  if (c != nullptr && c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    BufPool::release(c);
+  }
+}
+
+}  // namespace cni::util

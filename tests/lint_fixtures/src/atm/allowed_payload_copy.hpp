@@ -1,0 +1,14 @@
+// Fixture: a justified suppression silences payload-copy — this file must
+// lint clean even though it declares a byte vector in a data-path directory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+struct ModelMemory {
+  // cni-lint: allow(payload-copy): fixture for the suppression syntax;
+  // models host memory contents, not a wire payload.
+  std::vector<std::byte> contents;
+};
+}  // namespace fixture

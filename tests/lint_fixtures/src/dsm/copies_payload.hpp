@@ -1,0 +1,13 @@
+// Fixture: a std::vector<std::byte> payload in a data-path directory must
+// trip the payload-copy rule — buffers travel as pooled util::Buf handles.
+// lint-expect: payload-copy
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+struct BadMessage {
+  std::vector<std::byte> payload;
+};
+}  // namespace fixture

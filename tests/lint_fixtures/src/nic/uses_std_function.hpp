@@ -1,0 +1,12 @@
+// Fixture: src/nic is now a hot-path directory — std::function there must
+// trip hot-path-alloc just as it does in src/sim and src/core.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+struct BadDispatch {
+  std::function<void(int)> handler;
+};
+}  // namespace fixture

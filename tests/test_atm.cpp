@@ -40,7 +40,7 @@ TEST(Frame, HeaderRoundTrip) {
   const Hdr h = f.header<Hdr>();
   EXPECT_EQ(h.a, 42u);
   EXPECT_EQ(h.b, 3u);
-  EXPECT_EQ(f.payload.back(), std::byte{8});
+  EXPECT_EQ(f.bytes().back(), std::byte{8});
 }
 
 TEST(Banyan, StagesAndPorts) {
@@ -110,10 +110,7 @@ TEST(Fabric, DeliversWithSerializationAndLatency) {
     delivered = true;
     EXPECT_EQ(f.size(), 24u);
   });
-  Frame f;
-  f.src = 0;
-  f.dst = 1;
-  f.payload.resize(24);
+  Frame f = Frame::blank(0, 1, 0, 24);
   const DeliveryTiming t = fab.send(0, std::move(f));
   EXPECT_EQ(t.cells, 1u);
   // One cell: ~681.6 ns serialization + 500 ns switch + 2x150 ns propagation.
@@ -129,11 +126,7 @@ TEST(Fabric, PerPairFifoOrder) {
   fab.attach(0, [](Frame) {});
   fab.attach(1, [&](Frame f) { order.push_back(static_cast<int>(f.vci)); });
   for (int i = 0; i < 5; ++i) {
-    Frame f;
-    f.src = 0;
-    f.dst = 1;
-    f.vci = static_cast<std::uint32_t>(i);
-    f.payload.resize(4096);
+    Frame f = Frame::blank(0, 1, static_cast<std::uint32_t>(i), 4096);
     fab.send(0, std::move(f));
   }
   e.run();
@@ -148,10 +141,7 @@ TEST(Fabric, BiggerFramesArriveLater) {
     Fabric fab(e, test_params());
     fab.attach(0, [](Frame) {});
     fab.attach(1, [](Frame) {});
-    Frame f;
-    f.src = 0;
-    f.dst = 1;
-    f.payload.resize(round == 0 ? 64 : 4096);
+    Frame f = Frame::blank(0, 1, 0, round == 0 ? 64 : 4096);
     const DeliveryTiming t = fab.send(0, std::move(f));
     (round == 0 ? small_arrival : big_arrival) = t.arrival;
   }
@@ -164,20 +154,44 @@ TEST(Fabric, UplinkSerializesSuccessiveSends) {
   fab.attach(0, [](Frame) {});
   fab.attach(1, [](Frame) {});
   fab.attach(2, [](Frame) {});
-  Frame a;
-  a.src = 0;
-  a.dst = 1;
-  a.payload.resize(4096);
-  Frame b;
-  b.src = 0;
-  b.dst = 2;  // different destination, same uplink
-  b.payload.resize(4096);
+  Frame a = Frame::blank(0, 1, 0, 4096);
+  // different destination, same uplink
+  Frame b = Frame::blank(0, 2, 0, 4096);
   const DeliveryTiming ta = fab.send(0, std::move(a));
   const DeliveryTiming tb = fab.send(0, std::move(b));
   EXPECT_GE(tb.first_bit_out, ta.first_bit_out);
   EXPECT_GT(tb.arrival, ta.arrival);
   EXPECT_EQ(fab.frames_sent(), 2u);
   EXPECT_EQ(fab.cells_sent(), 2u * 86);
+}
+
+TEST(Fabric, DeliveryIsZeroCopyAndStatsAreExact) {
+  // Regression pin for the pooled delivery path: the frame handed to the
+  // destination hook must be the *same* buffer the sender built (refcount
+  // handoff through the scheduled FrameTask, no payload copy), and the
+  // frames/cells counters must match a hand-computed cell count.
+  sim::Engine e;
+  Fabric fab(e, test_params());
+  const std::byte* delivered_data = nullptr;
+  std::uint64_t delivered_size = 0;
+  fab.attach(0, [](Frame) {});
+  fab.attach(1, [&](Frame f) {
+    delivered_data = f.payload.data();
+    delivered_size = f.size();
+    EXPECT_TRUE(f.payload.unique());  // sole owner at delivery: no stray copies
+  });
+
+  Frame f = Frame::blank(0, 1, 7, 1000);
+  f.mutable_bytes()[999] = std::byte{0x6E};
+  const std::byte* sent_data = f.payload.data();
+  fab.send(0, std::move(f));
+  e.run();
+
+  EXPECT_EQ(delivered_data, sent_data);
+  EXPECT_EQ(delivered_size, 1000u);
+  EXPECT_EQ(fab.frames_sent(), 1u);
+  // ceil(1000 / 48 payload bytes per cell) = 21 cells.
+  EXPECT_EQ(fab.cells_sent(), 21u);
 }
 
 }  // namespace

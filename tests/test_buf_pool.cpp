@@ -1,0 +1,218 @@
+// util::BufPool / util::Buf: refcount lifecycle, size-class reuse, stats
+// accounting, and cross-thread release (the parallel sweep-runner shape).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/buf_pool.hpp"
+
+namespace cni::util {
+namespace {
+
+TEST(BufPool, ClassOfMapsPowersOfTwo) {
+  EXPECT_EQ(BufPool::class_of(1), 0u);
+  EXPECT_EQ(BufPool::class_of(64), 0u);
+  EXPECT_EQ(BufPool::class_of(65), 1u);
+  EXPECT_EQ(BufPool::class_of(128), 1u);
+  EXPECT_EQ(BufPool::class_of(129), 2u);
+  EXPECT_EQ(BufPool::class_of(64 * 1024), BufPool::kClassCount - 1);
+  EXPECT_EQ(BufPool::class_of(64 * 1024 + 1), BufPool::kUnpooledClass);
+}
+
+TEST(BufPool, RefcountLifecycle) {
+  Buf a = BufPool::local().alloc(100);
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_GE(a.capacity(), 128u);
+  EXPECT_EQ(a.ref_count(), 1u);
+  EXPECT_TRUE(a.unique());
+
+  Buf b = a;  // copy shares
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_FALSE(a.unique());
+
+  Buf c = std::move(b);  // move steals, no ref change
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+
+  c.reset();
+  EXPECT_EQ(a.ref_count(), 1u);
+  EXPECT_TRUE(a.unique());
+}
+
+TEST(BufPool, ReleaseAdoptRoundTrip) {
+  Buf a = BufPool::local().alloc(32);
+  std::memset(a.data(), 0x5A, 32);
+  const std::byte* p = a.data();
+
+  BufCtrl* raw = a.release();
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_NE(raw, nullptr);
+
+  Buf back = Buf::adopt(raw);
+  EXPECT_EQ(back.data(), p);
+  EXPECT_EQ(back.ref_count(), 1u);
+  EXPECT_EQ(std::to_integer<int>(back.span()[31]), 0x5A);
+}
+
+TEST(BufPool, SetSizeWithinCapacity) {
+  Buf a = BufPool::local().alloc(10);
+  EXPECT_EQ(a.size(), 10u);
+  a.set_size(a.capacity());
+  EXPECT_EQ(a.size(), a.capacity());
+  a.set_size(0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(BufPool, SameClassAllocReusesFreedBlock) {
+  BufPool& pool = BufPool::local();
+  Buf a = pool.alloc(100);  // class 1 (128 B)
+  const std::byte* p = a.data();
+  a.reset();
+
+  const BufPool::Stats before = pool.stats();
+  Buf b = pool.alloc(120);  // same class: freelist LIFO hands the block back
+  EXPECT_EQ(b.data(), p);
+  const BufPool::Stats after = pool.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(BufPool, AllocZeroedIsZeroFilled) {
+  Buf a = BufPool::local().alloc(256);
+  std::memset(a.data(), 0xFF, 256);
+  a.reset();  // dirty block back onto the freelist
+  Buf b = BufPool::local().alloc_zeroed(256);
+  for (std::byte v : b.span()) EXPECT_EQ(std::to_integer<int>(v), 0);
+}
+
+TEST(BufPool, OversizeBlocksBypassThePool) {
+  BufPool& pool = BufPool::local();
+  const BufPool::Stats before = pool.stats();
+  Buf a = pool.alloc(128 * 1024);  // > kMaxClassBytes
+  EXPECT_EQ(a.size(), 128u * 1024);
+  const BufPool::Stats mid = pool.stats();
+  EXPECT_EQ(mid.misses, before.misses + 1);
+  EXPECT_EQ(mid.outstanding, before.outstanding);  // not pool-owned
+  a.reset();  // straight back to the heap, not a freelist
+  Buf b = pool.alloc(128 * 1024);
+  EXPECT_EQ(pool.stats().misses, before.misses + 2);
+}
+
+TEST(BufPool, OutstandingTracksLivePooledBlocks) {
+  BufPool& pool = BufPool::local();
+  const std::uint64_t base = pool.stats().outstanding;
+  Buf a = pool.alloc(64);
+  Buf b = pool.alloc(64);
+  EXPECT_EQ(pool.stats().outstanding, base + 2);
+  Buf c = a;  // sharing does not change the live-block count
+  EXPECT_EQ(pool.stats().outstanding, base + 2);
+  c.reset();
+  a.reset();
+  b.reset();
+  EXPECT_EQ(pool.stats().outstanding, base);
+}
+
+TEST(BufPool, SteadyStateLoopIsAllHits) {
+  BufPool& pool = BufPool::local();
+  { Buf warm = pool.alloc(4096); }  // prime the size class
+  const BufPool::Stats before = pool.stats();
+  for (int i = 0; i < 1000; ++i) {
+    Buf b = pool.alloc(4096);
+    b.span()[0] = std::byte{1};
+  }
+  const BufPool::Stats after = pool.stats();
+  EXPECT_EQ(after.hits, before.hits + 1000);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(BufPool, CrossThreadReleaseRefurbishes) {
+  BufPool& pool = BufPool::local();
+  Buf a = pool.alloc(300);  // class 3 (512 B)
+  std::memset(a.data(), 0x42, 300);
+  const std::byte* p = a.data();
+  const BufPool::Stats before = pool.stats();
+
+  std::thread releaser([buf = std::move(a)]() mutable {
+    EXPECT_EQ(std::to_integer<int>(buf.span()[299]), 0x42);
+    buf.reset();  // remote free: lands on the owner's Treiber stack
+  });
+  releaser.join();
+
+  const BufPool::Stats mid = pool.stats();
+  EXPECT_EQ(mid.remote_frees, before.remote_frees + 1);
+  EXPECT_EQ(mid.outstanding, before.outstanding - 1);
+
+  // The block sits on the remote stack until a local miss refurbishes it.
+  Buf b = pool.alloc(300);
+  EXPECT_EQ(b.data(), p);
+  const BufPool::Stats after = pool.stats();
+  EXPECT_GE(after.refurbished, mid.refurbished + 1);
+}
+
+TEST(BufPool, BufOutlivesOwningThread) {
+  // A sweep job's pool must stay valid for buffers that escape the thread:
+  // the last release (here, on the main thread) deletes the pool.
+  Buf escaped;
+  std::thread worker([&escaped] {
+    escaped = BufPool::local().alloc(1000);
+    std::memset(escaped.data(), 0x7E, 1000);
+  });
+  worker.join();  // owning thread gone; pool kept alive by the block
+  EXPECT_EQ(escaped.size(), 1000u);
+  for (std::byte v : escaped.span()) EXPECT_EQ(std::to_integer<int>(v), 0x7E);
+  escaped.reset();  // elects this thread as the pool's deleter
+}
+
+TEST(BufPool, FourThreadCrossReleaseStress) {
+  // The parallel sweep shape under CNI_BENCH_JOBS=4: four threads allocate
+  // from their own pools; every buffer is released by a *different* thread.
+  static constexpr int kThreads = 4;
+  static constexpr int kPerThread = 256;
+  std::mutex mu;
+  std::vector<Buf> handoff;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([t, &mu, &handoff] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Buf b = BufPool::local().alloc(64 + static_cast<std::size_t>(i));
+        std::memset(b.data(), t + 1, b.size());
+        const std::lock_guard<std::mutex> lock(mu);
+        handoff.push_back(std::move(b));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+
+  ASSERT_EQ(handoff.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<std::thread> consumers;
+  consumers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    consumers.emplace_back([t, &mu, &handoff] {
+      for (int i = t; i < kThreads * kPerThread; i += kThreads) {
+        Buf b;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          b = std::move(handoff[static_cast<std::size_t>(i)]);
+        }
+        const int tag = std::to_integer<int>(b.span()[0]);
+        EXPECT_GE(tag, 1);
+        EXPECT_LE(tag, kThreads);
+        for (std::byte v : b.span()) EXPECT_EQ(std::to_integer<int>(v), tag);
+        // b drops here — almost always a cross-thread release.
+      }
+    });
+  }
+  for (std::thread& c : consumers) c.join();
+}
+
+}  // namespace
+}  // namespace cni::util

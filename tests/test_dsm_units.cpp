@@ -1,10 +1,17 @@
 // DSM building blocks: vector clocks, wire format, intervals, diffs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+
 #include "dsm/diff.hpp"
 #include "dsm/interval.hpp"
 #include "dsm/vector_clock.hpp"
 #include "dsm/wire_format.hpp"
+#include "util/buf_pool.hpp"
+#include "util/rng.hpp"
 
 namespace cni::dsm {
 namespace {
@@ -44,7 +51,9 @@ TEST(WireFormat, RoundTrip) {
   ByteReader r(w.data());
   EXPECT_EQ(r.u32(), 42u);
   EXPECT_EQ(r.u64(), 0xdeadbeefcafeULL);
-  EXPECT_EQ(r.bytes(), (std::vector<std::byte>{std::byte{1}, std::byte{2}}));
+  const std::span<const std::byte> got = r.bytes();
+  const std::vector<std::byte> want{std::byte{1}, std::byte{2}};
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()));
   EXPECT_EQ(r.clock(), vc);
   EXPECT_TRUE(r.done());
 }
@@ -129,7 +138,7 @@ TEST(Diff, CapturesChangedRuns) {
   const Diff d = make_diff(1, VectorClock(2), twin, cur);
   ASSERT_EQ(d.runs.size(), 2u);
   EXPECT_EQ(d.runs[0].offset, 2u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 2u);
+  EXPECT_EQ(d.runs[0].len, 2u);
   EXPECT_EQ(d.runs[1].offset, 20u);
 }
 
@@ -141,7 +150,7 @@ TEST(Diff, NearbyRunsCoalesce) {
   const Diff d = make_diff(1, VectorClock(2), twin, cur);
   ASSERT_EQ(d.runs.size(), 1u);
   EXPECT_EQ(d.runs[0].offset, 2u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 5u);
+  EXPECT_EQ(d.runs[0].len, 5u);
 }
 
 TEST(Diff, ApplyReconstructsCurrent) {
@@ -183,8 +192,183 @@ TEST(Diff, WholePageChange) {
   std::vector<std::byte> cur(4096, std::byte{1});
   const Diff d = make_diff(0, VectorClock(1), twin, cur);
   ASSERT_EQ(d.runs.size(), 1u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 4096u);
+  EXPECT_EQ(d.runs[0].len, 4096u);
   EXPECT_GT(d.payload_bytes(), 4096u);
+}
+
+TEST(Diff, JoinGapBoundary) {
+  // Two dirty bytes kJoinGap apart coalesce; one byte further and they split.
+  std::vector<std::byte> twin(64, std::byte{0});
+  {
+    auto cur = twin;
+    cur[10] = std::byte{1};
+    cur[10 + kJoinGap] = std::byte{1};
+    const Diff d = make_diff(0, VectorClock(1), twin, cur);
+    ASSERT_EQ(d.runs.size(), 1u);
+    EXPECT_EQ(d.runs[0].offset, 10u);
+    EXPECT_EQ(d.runs[0].len, kJoinGap + 1);
+  }
+  {
+    auto cur = twin;
+    cur[10] = std::byte{1};
+    cur[10 + kJoinGap + 1] = std::byte{1};
+    const Diff d = make_diff(0, VectorClock(1), twin, cur);
+    ASSERT_EQ(d.runs.size(), 2u);
+    EXPECT_EQ(d.runs[0].len, 1u);
+    EXPECT_EQ(d.runs[1].offset, 10u + kJoinGap + 1);
+  }
+}
+
+TEST(Diff, WordBoundaryStraddlingRuns) {
+  // Changes crossing 8-byte word boundaries and in the non-word tail must
+  // come out identical to a byte-wise scan.
+  std::vector<std::byte> twin(67, std::byte{0x33});
+  auto cur = twin;
+  cur[7] = std::byte{0xA0};   // last byte of word 0
+  cur[8] = std::byte{0xA1};   // first byte of word 1
+  cur[63] = std::byte{0xA2};  // last full-word byte
+  cur[66] = std::byte{0xA3};  // inside the 3-byte tail
+  const Diff d = make_diff(0, VectorClock(1), twin, cur);
+  ASSERT_EQ(d.runs.size(), 2u);
+  EXPECT_EQ(d.runs[0].offset, 7u);
+  EXPECT_EQ(d.runs[0].len, 2u);
+  EXPECT_EQ(d.runs[1].offset, 63u);
+  EXPECT_EQ(d.runs[1].len, 4u);
+  auto replay = twin;
+  apply_diff(d, replay);
+  EXPECT_EQ(replay, cur);
+}
+
+/// Reference byte-wise differ: positions p < q land in one run iff
+/// q - p <= kJoinGap. Used to cross-check the word-wise scanner.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> naive_runs(
+    std::span<const std::byte> twin, std::span<const std::byte> cur) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;  // {offset, len}
+  bool open = false;
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  for (std::uint32_t i = 0; i < cur.size(); ++i) {
+    if (twin[i] == cur[i]) continue;
+    if (open && i - last <= kJoinGap) {
+      last = i;
+    } else {
+      if (open) runs.emplace_back(first, last - first + 1);
+      open = true;
+      first = last = i;
+    }
+  }
+  if (open) runs.emplace_back(first, last - first + 1);
+  return runs;
+}
+
+TEST(Diff, RandomizedMatchesByteWiseReference) {
+  util::SplitMix64 rng(0xD1FFBEEF2026ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 1 + rng.next_below(4096);
+    std::vector<std::byte> twin(len);
+    for (std::byte& b : twin) b = static_cast<std::byte>(rng.next());
+    auto cur = twin;
+    const std::uint64_t flips = rng.next_below(64);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      cur[rng.next_below(len)] ^= static_cast<std::byte>(1 + rng.next_below(255));
+    }
+    const Diff d = make_diff(1, VectorClock(2), twin, cur);
+    const auto want = naive_runs(twin, cur);
+    ASSERT_EQ(d.runs.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(d.runs[i].offset, want[i].first) << "trial " << trial;
+      EXPECT_EQ(d.runs[i].len, want[i].second) << "trial " << trial;
+    }
+    auto replay = twin;
+    apply_diff(d, replay);
+    EXPECT_EQ(replay, cur) << "trial " << trial;
+  }
+}
+
+TEST(Diff, RandomizedSerializeRoundTripAndPayloadBytes) {
+  util::SplitMix64 rng(0xC0FFEE2026ULL);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t len = 64 + rng.next_below(2048);
+    std::vector<std::byte> twin(len, std::byte{0});
+    auto cur = twin;
+    const std::uint64_t flips = 1 + rng.next_below(40);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      cur[rng.next_below(len)] = static_cast<std::byte>(1 + rng.next_below(255));
+    }
+    VectorClock vc(4);
+    vc.set(trial % 4, static_cast<std::uint32_t>(trial) + 1);
+    const Diff d = make_diff(static_cast<std::uint32_t>(trial % 4), vc, twin, cur);
+
+    ByteWriter w;
+    d.serialize(w);
+    // payload_bytes() must replay the exact serialization code path.
+    EXPECT_EQ(d.payload_bytes(), w.data().size()) << "trial " << trial;
+
+    ByteReader r(w.data());
+    const Diff out = Diff::deserialize(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(out.writer, d.writer);
+    EXPECT_EQ(out.vc, vc);
+    auto replay = twin;
+    apply_diff(out, replay);
+    EXPECT_EQ(replay, cur) << "trial " << trial;
+  }
+}
+
+TEST(Diff, ExtremeImagesRoundTrip) {
+  // All-equal and all-different pages, word-multiple and ragged lengths.
+  for (const std::size_t len : {8u * 512u, 4093u}) {
+    std::vector<std::byte> twin(len, std::byte{0xAB});
+    const Diff same = make_diff(0, VectorClock(1), twin, twin);
+    EXPECT_TRUE(same.empty());
+    EXPECT_EQ(same.payload_bytes(), [&] {
+      ByteWriter w;
+      same.serialize(w);
+      return w.data().size();
+    }());
+
+    std::vector<std::byte> cur(len, std::byte{0xCD});
+    const Diff all = make_diff(0, VectorClock(1), twin, cur);
+    ASSERT_EQ(all.runs.size(), 1u);
+    EXPECT_EQ(all.runs[0].len, len);
+    auto replay = twin;
+    apply_diff(all, replay);
+    EXPECT_EQ(replay, cur);
+  }
+}
+
+TEST(Diff, BackedDeserializeAliasesTheFramePayload) {
+  // A reader over a pooled payload must hand out runs that alias that
+  // buffer (zero-copy receive) and keep it alive through the arena ref.
+  const auto twin = bytes_of("aaaaaaaaaaaaaaaabbbbbbbbbbbbbbbb");
+  auto cur = twin;
+  cur[3] = std::byte{'X'};
+  cur[30] = std::byte{'Y'};
+  Diff d = make_diff(1, VectorClock(2), twin, cur);
+
+  ByteWriter w;
+  d.serialize(w);
+  util::Buf payload = std::move(w).take();
+  const std::byte* lo = payload.data();
+  const std::byte* hi = lo + payload.size();
+
+  Diff out;
+  {
+    ByteReader r(payload, 0);
+    out = Diff::deserialize(r);
+  }
+  ASSERT_EQ(out.runs.size(), 2u);
+  for (const Diff::Run& run : out.runs) {
+    const std::span<const std::byte> bytes = out.run_bytes(run);
+    EXPECT_GE(bytes.data(), lo);
+    EXPECT_LT(bytes.data(), hi);
+  }
+  EXPECT_EQ(payload.ref_count(), 2u);  // the diff arena shares the payload
+
+  payload.reset();  // diff's reference alone keeps the bytes valid
+  auto replay = twin;
+  apply_diff(out, replay);
+  EXPECT_EQ(replay, cur);
 }
 
 }  // namespace
