@@ -6,8 +6,11 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "abl_mechanisms");
+  reporter.add_config("table", "ablation");
+  reporter.add_config("app", "water");
   apps::WaterConfig cfg{bench::fast_mode() ? 64u : 216u, 2};
   const std::uint32_t procs = 8;
 
@@ -41,7 +44,12 @@ int main() {
                v.kind == cluster::BoardKind::kCni && v.mcache ? r.hit_ratio_pct : 0.0,
                static_cast<double>(r.totals.host_interrupts)},
               2);
+    if (reporter.active()) {
+      reporter.add_point(bench::run_point(
+          v.name, {{"variant", v.name}},
+          {{"elapsed_ms", ms}, {"improvement_pct", 100.0 * (base - ms) / base}}, r));
+    }
   }
   t.print();
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

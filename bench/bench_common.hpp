@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 namespace cni::bench {
@@ -30,6 +32,37 @@ inline bool fast_mode() {
 inline std::vector<std::uint32_t> processor_sweep() {
   if (fast_mode()) return {1, 2, 4, 8};
   return {1, 2, 4, 8, 16, 24, 32};
+}
+
+// ---------------------------------------------------------------------------
+// Run-report plumbing. Every figure/table binary owns an obs::Reporter; these
+// helpers turn finished runs into ReportPoints carrying the figure numbers,
+// the legacy NodeStats accounts (for the metrics-vs-legacy diff in
+// scripts/validate_report.py) and the per-node metrics/trace snapshot.
+// ---------------------------------------------------------------------------
+
+/// Copies the legacy NodeStats accounts into the point, one entry per
+/// NodeStats field, in fields() order.
+inline void fill_legacy(obs::ReportPoint& pt, const sim::NodeStats& totals) {
+  for (const sim::NodeStats::Field& f : sim::NodeStats::fields()) {
+    pt.legacy.emplace_back(f.name, totals.*f.member);
+  }
+}
+
+/// Builds one ReportPoint from a finished run. Always records elapsed
+/// simulated time and the hit ratio next to the caller's figure values.
+inline obs::ReportPoint run_point(
+    std::string label, std::vector<std::pair<std::string, std::string>> config,
+    std::vector<std::pair<std::string, double>> values, const apps::RunResult& r) {
+  obs::ReportPoint pt;
+  pt.label = std::move(label);
+  pt.config = std::move(config);
+  pt.values = std::move(values);
+  pt.values.emplace_back("elapsed_ps", static_cast<double>(r.elapsed));
+  pt.values.emplace_back("hit_ratio_pct", r.hit_ratio_pct);
+  fill_legacy(pt, r.totals);
+  pt.snapshot = r.snapshot;
+  return pt;
 }
 
 /// One (CNI, standard) pair of runs at a processor count.
@@ -58,6 +91,26 @@ inline void print_speedup_series(const std::string& title,
   t.print();
 }
 
+/// Reports a speedup sweep: one ReportPoint per (procs, board kind) run,
+/// carrying the same speedup numbers the printed series shows.
+inline void report_speedup_series(obs::Reporter& rep,
+                                  const std::vector<SpeedupPoint>& points) {
+  if (!rep.active() || points.empty()) return;
+  const double cni1 = static_cast<double>(points.front().cni.elapsed);
+  const double std1 = static_cast<double>(points.front().standard.elapsed);
+  for (const SpeedupPoint& pt : points) {
+    const std::string procs = std::to_string(pt.procs);
+    rep.add_point(run_point(
+        "procs=" + procs + " system=cni",
+        {{"procs", procs}, {"system", "cni"}},
+        {{"speedup", cni1 / static_cast<double>(pt.cni.elapsed)}}, pt.cni));
+    rep.add_point(run_point(
+        "procs=" + procs + " system=standard",
+        {{"procs", procs}, {"system", "standard"}},
+        {{"speedup", std1 / static_cast<double>(pt.standard.elapsed)}}, pt.standard));
+  }
+}
+
 /// Runs one app config over the processor sweep on both board kinds. The
 /// 2 × |sweep| simulations are independent, so they run as parallel jobs.
 template <typename Config, typename RunFn>
@@ -81,7 +134,8 @@ std::vector<SpeedupPoint> speedup_sweep(RunFn run, const Config& cfg,
 template <typename Config, typename RunFn>
 void print_pagesize_series(const std::string& title, RunFn run, const Config& cfg,
                            std::uint32_t procs,
-                           const std::vector<std::uint64_t>& page_sizes) {
+                           const std::vector<std::uint64_t>& page_sizes,
+                           obs::Reporter* rep = nullptr) {
   // Four independent runs per page size: {CNI, standard} × {1, procs}.
   std::vector<apps::RunResult> results(page_sizes.size() * 4);
   apps::parallel_indexed(results.size(), [&](std::size_t job) {
@@ -98,11 +152,25 @@ void print_pagesize_series(const std::string& title, RunFn run, const Config& cf
     const apps::RunResult& cnip = results[i * 4 + 1];
     const apps::RunResult& std1 = results[i * 4 + 2];
     const apps::RunResult& stdp = results[i * 4 + 3];
+    const double cni_speedup =
+        static_cast<double>(cni1.elapsed) / static_cast<double>(cnip.elapsed);
+    const double std_speedup =
+        static_cast<double>(std1.elapsed) / static_cast<double>(stdp.elapsed);
     t.add_row(std::to_string(page_sizes[i]),
-              {static_cast<double>(cni1.elapsed) / static_cast<double>(cnip.elapsed),
-               static_cast<double>(std1.elapsed) / static_cast<double>(stdp.elapsed),
-               cnip.hit_ratio_pct},
-              2);
+              {cni_speedup, std_speedup, cnip.hit_ratio_pct}, 2);
+    if (rep != nullptr && rep->active()) {
+      const std::string pb = std::to_string(page_sizes[i]);
+      rep->add_point(run_point("page_bytes=" + pb + " system=cni",
+                               {{"page_bytes", pb},
+                                {"system", "cni"},
+                                {"procs", std::to_string(procs)}},
+                               {{"speedup", cni_speedup}}, cnip));
+      rep->add_point(run_point("page_bytes=" + pb + " system=standard",
+                               {{"page_bytes", pb},
+                                {"system", "standard"},
+                                {"procs", std::to_string(procs)}},
+                               {{"speedup", std_speedup}}, stdp));
+    }
   }
   t.print();
 }
@@ -118,6 +186,23 @@ inline void print_overhead_table(const std::string& title, const apps::RunResult
   t.add_row("Computation", {cni.compute_e9, standard.compute_e9}, 4);
   t.add_row("Total", {cni.total_sum_e9(), standard.total_sum_e9()}, 4);
   t.print();
+}
+
+/// Reports an overhead-table pair: one ReportPoint per board kind carrying
+/// the table's per-category breakdown.
+inline void report_overhead_table(obs::Reporter& rep, const apps::RunResult& cni,
+                                  const apps::RunResult& standard) {
+  if (!rep.active()) return;
+  const auto values = [](const apps::RunResult& r) {
+    return std::vector<std::pair<std::string, double>>{
+        {"synch_overhead_e9", r.overhead_e9},
+        {"synch_delay_e9", r.delay_e9},
+        {"compute_e9", r.compute_e9},
+        {"total_e9", r.total_sum_e9()}};
+  };
+  rep.add_point(run_point("system=cni", {{"system", "cni"}}, values(cni), cni));
+  rep.add_point(
+      run_point("system=standard", {{"system", "standard"}}, values(standard), standard));
 }
 
 }  // namespace cni::bench

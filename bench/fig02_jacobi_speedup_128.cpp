@@ -6,10 +6,14 @@
 #include "apps/jacobi.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig02_jacobi_speedup_128");
+  reporter.add_config("figure", "fig02");
+  reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg{128, bench::fast_mode() ? 6u : 40u, 16};
   const auto pts = bench::speedup_sweep(apps::run_jacobi, cfg);
   bench::print_speedup_series("Figure 2: Jacobi 128x128 speedup / hit ratio", pts);
-  return 0;
+  bench::report_speedup_series(reporter, pts);
+  return reporter.finish() ? 0 : 1;
 }

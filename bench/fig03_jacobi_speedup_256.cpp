@@ -5,10 +5,14 @@
 #include "apps/jacobi.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig03_jacobi_speedup_256");
+  reporter.add_config("figure", "fig03");
+  reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg{256, bench::fast_mode() ? 6u : 40u, 16};
   const auto pts = bench::speedup_sweep(apps::run_jacobi, cfg);
   bench::print_speedup_series("Figure 3: Jacobi 256x256 speedup / hit ratio", pts);
-  return 0;
+  bench::report_speedup_series(reporter, pts);
+  return reporter.finish() ? 0 : 1;
 }

@@ -2,10 +2,14 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig07_water_speedup_216");
+  reporter.add_config("figure", "fig07");
+  reporter.add_config("app", "water");
   apps::WaterConfig cfg{216, 2};
   const auto pts = bench::speedup_sweep(apps::run_water, cfg);
   bench::print_speedup_series("Figure 7: Water 216 molecules speedup / hit ratio", pts);
-  return 0;
+  bench::report_speedup_series(reporter, pts);
+  return reporter.finish() ? 0 : 1;
 }

@@ -5,10 +5,13 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig09_water_pagesize");
+  reporter.add_config("figure", "fig09");
+  reporter.add_config("app", "water");
   apps::WaterConfig cfg{216, 2};
   bench::print_pagesize_series("Figure 9: Water page-size sensitivity (p=8)",
-                               apps::run_water, cfg, 8, {2048, 4096, 8192});
-  return 0;
+                               apps::run_water, cfg, 8, {2048, 4096, 8192}, &reporter);
+  return reporter.finish() ? 0 : 1;
 }

@@ -6,11 +6,15 @@
 #include "apps/cholesky.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig10_cholesky_bcsstk14");
+  reporter.add_config("figure", "fig10");
+  reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();
   if (cni::bench::fast_mode()) cfg = apps::CholeskyConfig{256, 16, 2, 3, 1024, 2000};
   const auto pts = bench::speedup_sweep(apps::run_cholesky, cfg);
   bench::print_speedup_series("Figure 10: Cholesky bcsstk14 speedup / hit ratio", pts);
-  return 0;
+  bench::report_speedup_series(reporter, pts);
+  return reporter.finish() ? 0 : 1;
 }

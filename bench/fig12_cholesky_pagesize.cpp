@@ -6,11 +6,14 @@
 #include "apps/cholesky.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig12_cholesky_pagesize");
+  reporter.add_config("figure", "fig12");
+  reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();
   if (cni::bench::fast_mode()) cfg = apps::CholeskyConfig{256, 16, 2, 3, 1024, 2000};
   bench::print_pagesize_series("Figure 12: Cholesky page-size sensitivity (p=8)",
-                               apps::run_cholesky, cfg, 8, {2048, 4096, 8192});
-  return 0;
+                               apps::run_cholesky, cfg, 8, {2048, 4096, 8192}, &reporter);
+  return reporter.finish() ? 0 : 1;
 }

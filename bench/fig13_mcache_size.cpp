@@ -9,8 +9,10 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig13_mcache_size");
+  reporter.add_config("figure", "fig13");
   const bool fast = bench::fast_mode();
   apps::JacobiConfig jac = fast ? apps::JacobiConfig{128, 5, 16}
                                 : apps::JacobiConfig{512, 15, 16};
@@ -29,7 +31,18 @@ int main() {
     const auto c = apps::run_cholesky(params(kb), cho, nullptr);
     t.add_row(std::to_string(kb),
               {j.hit_ratio_pct, w.hit_ratio_pct, c.hit_ratio_pct}, 1);
+    if (reporter.active()) {
+      const std::string cache_kb = std::to_string(kb);
+      const auto point = [&](const char* app, const apps::RunResult& r) {
+        reporter.add_point(bench::run_point(
+            "cache_kb=" + cache_kb + " app=" + app,
+            {{"cache_kb", cache_kb}, {"app", app}}, {}, r));
+      };
+      point("jacobi", j);
+      point("water", w);
+      point("cholesky", c);
+    }
   }
   t.print();
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -22,7 +22,10 @@ using namespace cni;
 constexpr nic::MsgType kPingType = nic::kTypeAppBase + 1;
 
 /// One-way latency for a message of `bytes`, measured at the receiver.
-sim::SimDuration measure(cluster::BoardKind board, std::uint64_t bytes) {
+/// Reports one point per run when `rep` is active (this binary has no
+/// RunResult, so the point is assembled from the cluster directly).
+sim::SimDuration measure(cluster::BoardKind board, std::uint64_t bytes,
+                         obs::Reporter* rep) {
   cluster::SimParams params = apps::make_params(board, 2);
   cluster::Cluster cl(params);
 
@@ -65,20 +68,34 @@ sim::SimDuration measure(cluster::BoardKind board, std::uint64_t bytes) {
       arrival = t.engine().now();
     }
   });
-  return arrival - send_start;
+  const sim::SimDuration latency = arrival - send_start;
+  if (rep != nullptr && rep->active()) {
+    const char* system = board == cluster::BoardKind::kCni ? "cni" : "standard";
+    obs::ReportPoint pt;
+    pt.label = std::string("bytes=") + std::to_string(bytes) + " system=" + system;
+    pt.config = {{"bytes", std::to_string(bytes)}, {"system", system}};
+    pt.values = {{"latency_us", sim::to_micros(latency)}};
+    bench::fill_legacy(pt, cl.stats().total());
+    pt.snapshot = cl.snapshot();
+    rep->add_point(std::move(pt));
+  }
+  return latency;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cni::obs::Reporter reporter(argc, argv, "fig14_latency_micro");
+  reporter.add_config("figure", "fig14");
   cni::util::Table t("Figure 14: node-to-node latency vs message size");
   t.set_header({"bytes", "CNI (us)", "Standard (us)", "reduction (%)"});
   double reduction_4k = 0;
   for (std::uint64_t bytes : {0ull, 512ull, 1024ull, 1536ull, 2048ull, 2560ull,
                               3072ull, 3584ull, 4096ull}) {
-    const double cni = cni::sim::to_micros(measure(cni::cluster::BoardKind::kCni, bytes));
-    const double std_ =
-        cni::sim::to_micros(measure(cni::cluster::BoardKind::kStandard, bytes));
+    const double cni = cni::sim::to_micros(
+        measure(cni::cluster::BoardKind::kCni, bytes, &reporter));
+    const double std_ = cni::sim::to_micros(
+        measure(cni::cluster::BoardKind::kStandard, bytes, &reporter));
     const double red = 100.0 * (std_ - cni) / std_;
     if (bytes == 4096) reduction_4k = red;
     t.add_row(std::to_string(bytes), {cni, std_, red}, 2);
@@ -86,5 +103,5 @@ int main() {
   t.print();
   std::printf("\npaper: ~33%% lower latency for a 4 KB page transfer; measured: %.1f%%\n",
               reduction_4k);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

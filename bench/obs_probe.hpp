@@ -1,0 +1,45 @@
+// Probe kernel for micro_obs: one representative instrumented hot-path
+// operation (a Message Cache transmit lookup plus the emit macros CniBoard
+// wraps around it), compiled twice:
+//
+//   obs_probe_on.cpp   -> probe_step_on()   normal build, macros live
+//   obs_probe_off.cpp  -> probe_step_off()  -DCNI_OBS_DISABLED, macros vanish
+//
+// Same body (obs_probe_body.inc), different preprocessor state — so the
+// pair measures exactly what the compile-time kill switch removes, and the
+// on-variant with null/quiet handles measures the runtime-off residue (one
+// pointer test per site).
+#pragma once
+
+#include <cstdint>
+
+#include "core/message_cache.hpp"
+#include "obs/obs.hpp"
+
+namespace cni::bench {
+
+struct ProbeCtx {
+  explicit ProbeCtx(std::uint64_t cache_bytes = 512 * 1024)
+      : mcache(mem::PageGeometry(4096), cache_bytes) {
+    for (std::uint64_t i = 0; i < mcache.buffer_count(); ++i) mcache.insert(i * 4096, 4096);
+  }
+
+  core::MessageCache mcache;
+  std::uint64_t va = 0;
+  std::uint64_t t = 0;  ///< synthetic sim-time cursor, ps
+
+  // Null by default: the on-variant then measures emit sites whose runtime
+  // switch is off. Point them at real handles to measure live recording.
+  obs::NodeObs* node = nullptr;
+  obs::Hist* hist = nullptr;
+  obs::Gauge* gauge = nullptr;
+};
+
+/// One probe step with the instrumentation macros compiled in.
+std::uint64_t probe_step_on(ProbeCtx& ctx);
+
+/// The identical step compiled under CNI_OBS_DISABLED (macros expand to
+/// nothing) — the uninstrumented reference cost.
+std::uint64_t probe_step_off(ProbeCtx& ctx);
+
+}  // namespace cni::bench

@@ -1,0 +1,16 @@
+// Kill-switch probe variant: this translation unit is compiled with
+// -DCNI_OBS_DISABLED (see bench/CMakeLists.txt), so every emit macro in the
+// shared body expands to nothing. See obs_probe.hpp.
+#include "obs_probe.hpp"
+
+#if CNI_OBS_ENABLED
+#error "obs_probe_off.cpp must be compiled with CNI_OBS_DISABLED"
+#endif
+
+namespace cni::bench {
+
+#define PROBE_STEP_NAME probe_step_off
+#include "obs_probe_body.inc"
+#undef PROBE_STEP_NAME
+
+}  // namespace cni::bench

@@ -1,0 +1,11 @@
+// Instrumented probe variant: built like the rest of the tree, emit macros
+// live. See obs_probe.hpp.
+#include "obs_probe.hpp"
+
+namespace cni::bench {
+
+#define PROBE_STEP_NAME probe_step_on
+#include "obs_probe_body.inc"
+#undef PROBE_STEP_NAME
+
+}  // namespace cni::bench

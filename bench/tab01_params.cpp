@@ -1,8 +1,13 @@
 // Table 1: the simulation parameters in force (defaults of this build).
 #include "cluster/params.hpp"
+#include "obs/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // No simulation runs here, but the binary still honors the obs flags so
+  // tooling can treat every fig/tab target uniformly (empty points list).
+  cni::obs::Reporter reporter(argc, argv, "tab01_params");
+  reporter.add_config("table", "tab01");
   cni::cluster::SimParams params;
   params.to_table().print();
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

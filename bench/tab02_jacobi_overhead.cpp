@@ -6,8 +6,11 @@
 #include "apps/jacobi.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "tab02_jacobi_overhead");
+  reporter.add_config("table", "tab02");
+  reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg = bench::fast_mode() ? apps::JacobiConfig{256, 5, 16}
                                               : apps::JacobiConfig{1024, 20, 16};
   const auto cni = apps::run_jacobi(
@@ -16,5 +19,6 @@ int main() {
       apps::make_params(cluster::BoardKind::kStandard, 8, 2048), cfg, nullptr);
   bench::print_overhead_table(
       "Table 2: overhead, 8-processor Jacobi 1024x1024 (2 KB pages)", cni, std_);
-  return 0;
+  bench::report_overhead_table(reporter, cni, std_);
+  return reporter.finish() ? 0 : 1;
 }

@@ -4,8 +4,11 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "tab03_water_overhead");
+  reporter.add_config("table", "tab03");
+  reporter.add_config("app", "water");
   apps::WaterConfig cfg{216, 2};
   const auto cni =
       apps::run_water(apps::make_params(cluster::BoardKind::kCni, 8), cfg, nullptr);
@@ -13,5 +16,6 @@ int main() {
       apps::run_water(apps::make_params(cluster::BoardKind::kStandard, 8), cfg, nullptr);
   bench::print_overhead_table("Table 3: overhead, 8-processor Water 216 molecules",
                               cni, std_);
-  return 0;
+  bench::report_overhead_table(reporter, cni, std_);
+  return reporter.finish() ? 0 : 1;
 }

@@ -5,8 +5,11 @@
 #include "apps/cholesky.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "tab04_cholesky_overhead");
+  reporter.add_config("table", "tab04");
+  reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();
   if (cni::bench::fast_mode()) cfg = apps::CholeskyConfig{256, 16, 2, 3, 1024, 2000};
   const auto cni =
@@ -15,5 +18,6 @@ int main() {
       apps::make_params(cluster::BoardKind::kStandard, 8), cfg, nullptr);
   bench::print_overhead_table("Table 4: overhead, 8-processor Cholesky bcsstk14",
                               cni, std_);
-  return 0;
+  bench::report_overhead_table(reporter, cni, std_);
+  return reporter.finish() ? 0 : 1;
 }

@@ -9,8 +9,10 @@
 #include "apps/water.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cni;
+  obs::Reporter reporter(argc, argv, "tab05_cellsize");
+  reporter.add_config("table", "tab05");
   const bool fast = bench::fast_mode();
   apps::JacobiConfig jac = fast ? apps::JacobiConfig{256, 5, 16}
                                 : apps::JacobiConfig{1024, 20, 16};
@@ -18,21 +20,32 @@ int main() {
   apps::CholeskyConfig cho = apps::CholeskyConfig::bcsstk14();
   if (fast) cho = apps::CholeskyConfig{256, 16, 2, 3, 1024, 2000};
 
-  auto improvement = [&](auto run, const auto& cfg) {
+  auto improvement = [&](const char* app, auto run, const auto& cfg) {
     auto p_std = apps::make_params(cluster::BoardKind::kCni, 8);
     auto p_unr = p_std;
     p_unr.fabric.cell_mode = atm::CellMode::kUnrestricted;
     const auto base = run(p_std, cfg, nullptr);
     const auto unr = run(p_unr, cfg, nullptr);
-    return 100.0 * (static_cast<double>(base.elapsed) - static_cast<double>(unr.elapsed)) /
-           static_cast<double>(base.elapsed);
+    const double pct =
+        100.0 * (static_cast<double>(base.elapsed) - static_cast<double>(unr.elapsed)) /
+        static_cast<double>(base.elapsed);
+    if (reporter.active()) {
+      const std::string name(app);
+      reporter.add_point(bench::run_point("app=" + name + " cells=atm53",
+                                          {{"app", name}, {"cells", "atm53"}},
+                                          {{"improvement_pct", pct}}, base));
+      reporter.add_point(bench::run_point("app=" + name + " cells=unrestricted",
+                                          {{"app", name}, {"cells", "unrestricted"}},
+                                          {}, unr));
+    }
+    return pct;
   };
 
   util::Table t("Table 5: improvement with unrestricted ATM cell size (p=8, CNI)");
   t.set_header({"Application", "% improvement"});
-  t.add_row("Jacobi 1024x1024", {improvement(apps::run_jacobi, jac)}, 2);
-  t.add_row("Water 343 molecules", {improvement(apps::run_water, wat)}, 2);
-  t.add_row("Cholesky bcsstk14", {improvement(apps::run_cholesky, cho)}, 2);
+  t.add_row("Jacobi 1024x1024", {improvement("jacobi", apps::run_jacobi, jac)}, 2);
+  t.add_row("Water 343 molecules", {improvement("water", apps::run_water, wat)}, 2);
+  t.add_row("Cholesky bcsstk14", {improvement("cholesky", apps::run_cholesky, cho)}, 2);
   t.print();
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Regenerates BENCH_engine.json and BENCH_datapath.json from the microbenches.
+"""Regenerates BENCH_engine.json, BENCH_datapath.json and BENCH_obs.json.
 
 Usage: scripts/bench_engine.py [build-dir]
 
 Captures the machine-readable throughput numbers the PR/README quote:
-events/sec from micro_engine, lookups/sec from micro_mcache, and the
+events/sec from micro_engine, lookups/sec from micro_mcache, the
 zero-copy-vs-legacy data-path comparison from micro_datapath (throughput,
-speedup ratios, and the steady-state heap-allocation count).
+speedup ratios, and the steady-state heap-allocation count), and the
+observability overhead ladder from micro_obs (compiled-out reference vs
+runtime-off residue vs live metrics vs full tracing).
 """
 import json
 import subprocess
@@ -69,6 +71,52 @@ def write_datapath() -> None:
     print(f"wrote {path}")
 
 
+def write_obs() -> None:
+    report = run("micro_obs")
+    by_name = {b["name"]: b for b in report["benchmarks"]}
+
+    NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+    def ns(name: str) -> float:
+        b = by_name[name]
+        return b["real_time"] * NS_PER[b.get("time_unit", "ns")]
+
+    base = ns("BM_ProbeCompiledOut")
+
+    def pct_over_base(name: str) -> float:
+        return round(100.0 * (ns(name) - base) / base, 2)
+
+    jac_off = ns("BM_JacobiRuntimeOff")
+    jac_on = ns("BM_JacobiTracingOn")
+    result = {
+        "context": context_of(report),
+        "probe": {
+            # The kill-switch reference: the same operation with every emit
+            # macro removed by the preprocessor. The runtime-off delta is the
+            # shipped default's entire cost (one pointer test per site) and
+            # must stay in the noise.
+            "compiled_out_ns": round(base, 2),
+            "runtime_off_ns": round(ns("BM_ProbeRuntimeOff"), 2),
+            "runtime_off_overhead_pct": pct_over_base("BM_ProbeRuntimeOff"),
+            "metrics_on_ns": round(ns("BM_ProbeMetricsOn"), 2),
+            "metrics_on_overhead_pct": pct_over_base("BM_ProbeMetricsOn"),
+            "tracing_on_ns": round(ns("BM_ProbeTracingOn"), 2),
+            "tracing_on_overhead_pct": pct_over_base("BM_ProbeTracingOn"),
+        },
+        "jacobi_end_to_end": {
+            # Whole-simulation cost of the *runtime* switch (trace rings +
+            # snapshot materialization). Tracing is opt-in via --trace-out.
+            "runtime_off_ms": round(jac_off / 1e6, 3),
+            "tracing_on_ms": round(jac_on / 1e6, 3),
+            "tracing_on_overhead_pct": round(100.0 * (jac_on - jac_off) / jac_off, 2),
+        },
+    }
+
+    path = ROOT / "BENCH_obs.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     engine = run("micro_engine")
     mcache = run("micro_mcache")
@@ -90,6 +138,7 @@ def main() -> None:
     print(f"wrote {path}")
 
     write_datapath()
+    write_obs()
 
 
 if __name__ == "__main__":

@@ -8,8 +8,8 @@ checks the three that matter most (see DESIGN.md section 9):
                   flows through the seeded streams in src/util/rng.hpp;
                   wall-clock and libc RNG calls are banned everywhere else
                   in src/.
-  hot-path-alloc  src/sim, src/core, src/atm, src/nic and src/dsm are the
-                  per-event hot paths. Node containers
+  hot-path-alloc  src/sim, src/core, src/atm, src/nic, src/dsm and src/obs
+                  are the per-event hot paths. Node containers
                   (std::unordered_map/set), type-erased heap callables
                   (std::function) and raw `new` are banned there; use
                   util::U64FlatMap and sim::InlineFn (DESIGN.md §8).
@@ -81,7 +81,8 @@ BARE_ASSERT_PATTERN = re.compile(r"(?<![\w.:])assert\s*\(")
 
 # Paths (relative, forward slashes) where determinism primitives may live.
 DETERMINISM_EXEMPT = {"src/util/rng.hpp"}
-HOT_PATH_DIRS = ("src/sim/", "src/core/", "src/atm/", "src/nic/", "src/dsm/")
+HOT_PATH_DIRS = ("src/sim/", "src/core/", "src/atm/", "src/nic/", "src/dsm/",
+                 "src/obs/")
 
 ALLOW_RE = re.compile(r"cni-lint:\s*allow\(([a-z-]+)\)\s*:?\s*(.*)")
 EXPECT_RE = re.compile(r"lint-expect:\s*([a-z-]+)")

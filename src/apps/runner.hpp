@@ -31,6 +31,7 @@ struct RunResult {
   sim::SimTime elapsed = 0;
   std::uint64_t elapsed_cycles = 0;  ///< host CPU cycles (166 MHz)
   sim::NodeStats totals;             ///< summed over nodes
+  obs::Snapshot snapshot;            ///< per-node metrics (+ trace when enabled)
   double hit_ratio_pct = 0;          ///< network cache hit ratio (paper's term)
 
   // Per-processor averages in units of 1e9 cycles (the paper's Tables 2-4).
@@ -76,6 +77,7 @@ RunResult run_app(const cluster::SimParams& params,
   });
   r.elapsed_cycles = cl.elapsed_cpu_cycles();
   r.totals = cl.stats().total();
+  r.snapshot = cl.snapshot();
   r.hit_ratio_pct = r.totals.tx_hit_ratio_pct();
   const double p = static_cast<double>(params.processors);
   r.compute_e9 = static_cast<double>(r.totals.compute_cycles) / p / 1e9;

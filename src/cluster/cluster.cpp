@@ -3,17 +3,27 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/buf_pool.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace cni::cluster {
+namespace {
+
+/// Logger time hook: stamps log lines with the engine's simulated clock.
+std::uint64_t engine_now(void* ctx) { return static_cast<sim::Engine*>(ctx)->now(); }
+
+}  // namespace
 
 Node::Node(sim::Engine& engine, atm::Fabric& fabric, const SimParams& params,
-           atm::NodeId id, sim::NodeStats& stats)
+           atm::NodeId id, sim::NodeStats& stats, obs::NodeObs* obs)
     : id_(id),
       bus_(engine, params.bus),
       page_table_(mem::PageGeometry(params.page_size)),
       cpu_(params.cpu_freq_hz, params.cache, bus_, page_table_, stats),
       is_cni_(params.board == BoardKind::kCni) {
+  // Before the board: boards resolve their obs handles at construction.
+  cpu_.set_obs(obs);
   if (is_cni_) {
     board_ = std::make_unique<core::CniBoard>(engine, fabric, cpu_, params.nic, id,
                                               params.cni,
@@ -32,18 +42,24 @@ Cluster::Cluster(const SimParams& params)
     : params_(params),
       engine_(),
       fabric_(engine_, params.fabric),
-      stats_(params.processors) {
+      stats_(params.processors),
+      obs_(params.processors, params.obs) {
   CNI_CHECK_MSG(params.processors >= 1, "a cluster needs at least one node");
   CNI_CHECK_MSG(params.processors <= params.fabric.switch_ports,
                 "more nodes than switch ports");
   for (std::uint32_t i = 0; i < params.processors; ++i) {
-    nodes_.push_back(
-        std::make_unique<Node>(engine_, fabric_, params_, i, stats_.node(i)));
+    obs_.bind_node_stats(i, stats_.node(i));
+    nodes_.push_back(std::make_unique<Node>(engine_, fabric_, params_, i,
+                                            stats_.node(i), &obs_.node(i)));
   }
 }
 
 sim::SimTime Cluster::run(
     const std::function<void(std::size_t, sim::SimThread&)>& body) {
+  // Every log line emitted while the engine runs carries its simulated time.
+  // Thread-local install: parallel sweep jobs each stamp with their own
+  // engine's clock.
+  const util::ScopedLogTime log_time(&engine_now, &engine_);
   std::vector<std::unique_ptr<sim::SimThread>> threads;
   std::vector<sim::SimTime> finish(nodes_.size(), 0);
   threads.reserve(nodes_.size());
@@ -83,6 +99,50 @@ sim::SimTime Cluster::run(
 
 std::uint64_t Cluster::elapsed_cpu_cycles() const {
   return sim::Clock(params_.cpu_freq_hz).to_cycles(elapsed_);
+}
+
+obs::Snapshot Cluster::snapshot() const {
+  obs::Snapshot snap;
+  snap.traced = params_.obs.trace;
+  snap.nodes.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < obs_.node_count(); ++i) {
+    const obs::NodeObs& src = obs_.node(i);
+    obs::NodeSnapshot node;
+    node.node = i;
+    src.metrics().for_each_counter([&node](const std::string& name, std::uint64_t v) {
+      node.counters.push_back(obs::CounterSnapshot{name, v});
+    });
+    src.metrics().for_each_histogram([&node](const std::string& name, const obs::Hist& h) {
+      obs::HistSnapshot hs;
+      hs.name = name;
+      hs.count = h.count();
+      hs.sum = h.sum();
+      hs.min = h.min();
+      hs.max = h.max();
+      hs.p50 = h.percentile(50.0);
+      hs.p95 = h.percentile(95.0);
+      hs.p99 = h.percentile(99.0);
+      node.hists.push_back(std::move(hs));
+    });
+    src.metrics().for_each_gauge([&node](const std::string& name, const obs::Gauge& g) {
+      node.gauges.push_back(obs::GaugeSnapshot{name, g.value(), g.max()});
+    });
+    node.trace_recorded = src.ring().recorded();
+    node.trace_dropped = src.ring().dropped();
+    if (snap.traced) {
+      node.trace.reserve(src.ring().size());
+      src.ring().for_each([&node](const obs::TraceRecord& r) { node.trace.push_back(r); });
+    }
+    snap.nodes.push_back(std::move(node));
+  }
+  const util::BufPool::Stats bp = util::BufPool::local().stats();
+  snap.bufpool.sampled = true;
+  snap.bufpool.hits = bp.hits;
+  snap.bufpool.misses = bp.misses;
+  snap.bufpool.refurbished = bp.refurbished;
+  snap.bufpool.remote_frees = bp.remote_frees;
+  snap.bufpool.outstanding = bp.outstanding;
+  return snap;
 }
 
 }  // namespace cni::cluster

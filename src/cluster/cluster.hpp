@@ -15,6 +15,8 @@
 #include "cluster/params.hpp"
 #include "core/cni_board.hpp"
 #include "nic/standard_nic.hpp"
+#include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 
@@ -24,7 +26,7 @@ namespace cni::cluster {
 class Node {
  public:
   Node(sim::Engine& engine, atm::Fabric& fabric, const SimParams& params,
-       atm::NodeId id, sim::NodeStats& stats);
+       atm::NodeId id, sim::NodeStats& stats, obs::NodeObs* obs);
 
   [[nodiscard]] atm::NodeId id() const { return id_; }
   [[nodiscard]] HostCpu& cpu() { return cpu_; }
@@ -52,6 +54,11 @@ class Cluster {
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] obs::RunObs& obs() { return obs_; }
+
+  /// Materializes every bound counter, histogram, gauge and (when tracing)
+  /// the trace rings into a Snapshot that outlives the cluster.
+  [[nodiscard]] obs::Snapshot snapshot() const;
 
   /// Runs `body(node_index, thread)` on every node concurrently (in
   /// simulated time) and returns the simulated duration of the whole run.
@@ -67,6 +74,7 @@ class Cluster {
   sim::Engine engine_;
   atm::Fabric fabric_;
   sim::StatsRegistry stats_;
+  obs::RunObs obs_;  // before nodes_: boards grab their NodeObs at construction
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::SimTime elapsed_ = 0;
 };

@@ -60,6 +60,12 @@ class HostCpu final : public nic::HostSystem {
   mem::MemoryBus& bus() override { return bus_; }
   mem::PageTable& page_table() override { return pt_; }
   sim::NodeStats& stats() override { return stats_; }
+  [[nodiscard]] obs::NodeObs* obs() override { return obs_; }
+
+  /// Attaches the node's observability context. Must run before the board is
+  /// constructed: boards resolve their histogram handles through obs() once,
+  /// at construction.
+  void set_obs(obs::NodeObs* obs) { obs_ = obs; }
 
   [[nodiscard]] std::uint64_t stolen_pending() const { return stolen_cycles_; }
 
@@ -70,6 +76,7 @@ class HostCpu final : public nic::HostSystem {
   mem::MemoryBus& bus_;
   mem::PageTable& pt_;
   sim::NodeStats& stats_;
+  obs::NodeObs* obs_ = nullptr;
   std::uint64_t stolen_cycles_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "nic/board.hpp"
+#include "obs/options.hpp"
 #include "util/table.hpp"
 
 namespace cni::cluster {
@@ -28,6 +29,10 @@ struct SimParams {
   nic::NicParams nic;         ///< 33 MHz NIC, SAR/interrupt/kernel costs
   atm::FabricParams fabric;   ///< 622 Mb/s links, 500 ns banyan switch
   core::CniConfig cni;        ///< 32 KB Message Cache etc.
+  /// Observability switches. Defaults come from the process-wide options
+  /// (CNI_TRACE env / Reporter flags), captured when the SimParams is built
+  /// so every cluster in a sweep sees one consistent setting.
+  obs::Options obs = obs::default_options();
 
   /// Renders the Table 1 parameter dump.
   [[nodiscard]] util::Table to_table() const;

@@ -18,6 +18,13 @@ CniBoard::CniBoard(sim::Engine& engine, atm::Fabric& fabric, nic::HostSystem& ho
       tlb_(config.tlb_entries, config.tlb_miss_penalty_nic_cycles),
       rtlb_(config.tlb_entries, config.tlb_miss_penalty_nic_cycles),
       governor_(config.poll_interrupt_threshold) {
+  // Resolve observability handles once; obs_ (from the Osiris substrate) is
+  // nullptr when the host carries no obs context (standalone test boards).
+  if (obs_ != nullptr) {
+    tx_wait_hist_ = obs_->metrics().histogram("adc.tx_wait_ps");
+    tx_ring_gauge_ = obs_->metrics().gauge("adc.tx_occupancy");
+  }
+
   // The Message Cache's cached buffers live in dual-ported memory.
   auto mc_region = board_mem_.alloc(config.message_cache_bytes, "message-cache");
   CNI_CHECK_MSG(mc_region.has_value(), "Message Cache does not fit board memory");
@@ -83,11 +90,16 @@ void CniBoard::send_from_host(sim::SimThread& self, atm::Frame frame,
                            hdr.type, hdr.flags};
   CNI_CHECK_MSG(system_channel_->enqueue_tx(desc),
                 "system ADC transmit ring rejected a descriptor");
+  CNI_TRACE_INSTANT(obs_, engine_.now(), obs::Component::kAdc,
+                    obs::Event::kAdcEnqueueTx, frame.size(),
+                    system_channel_->tx_ring().count());
+  CNI_OBS_GAUGE_SET(tx_ring_gauge_, system_channel_->tx_ring().count());
   host_.charge_overhead(self, cycles);
 
   // The transmit processor consumes the descriptor asynchronously.
   const auto taken = system_channel_->dequeue_tx();
   CNI_CHECK(taken.has_value());
+  CNI_OBS_GAUGE_SET(tx_ring_gauge_, system_channel_->tx_ring().count());
   start_tx(engine_.now(), std::move(frame), opts);
 }
 
@@ -98,11 +110,17 @@ void CniBoard::send_from_protocol(sim::SimTime ready, atm::Frame frame,
 }
 
 void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opts) {
-  {
-    const nic::MsgHeader h = frame.header<nic::MsgHeader>();
-    CNI_LOG_DEBUG("board%u start_tx type=%x dst=%u seq=%u", node_, h.type, frame.dst, h.seq);
-  }
+  const nic::MsgHeader hdr = frame.header<nic::MsgHeader>();
+  CNI_LOG_DEBUG("board%u start_tx type=%x dst=%u seq=%u", node_, hdr.type, frame.dst,
+                hdr.seq);
   const std::uint64_t bytes = frame.size();
+  // Queueing delay behind earlier descriptors: the gap between the enqueue
+  // instant and the transmit processor picking this frame up.
+  [[maybe_unused]] const sim::SimDuration tx_wait =
+      tx_proc_.busy_until() > t ? tx_proc_.busy_until() - t : 0;
+  CNI_OBS_HIST(tx_wait_hist_, tx_wait);
+  CNI_TRACE_SPAN(obs_, t, t + tx_wait, obs::Component::kAdc, obs::Event::kAdcTxWait,
+                 bytes, hdr.type);
   sim::SimTime cursor = tx_proc_.occupy(t, nic_clock_.cycles(params_.per_frame_tx_cycles));
 
   auto& st = host_.stats();
@@ -112,6 +130,8 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
     cursor = host_.bus().dma_read(cursor, bytes);
     ++st.dma_transfers;
     st.dma_bytes += bytes;
+    CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kDma, obs::Event::kDmaTransfer,
+                      bytes, 0);
   } else if (opts.source_va != 0) {
     // Transmit caching: probe the buffer map, one lookup per resident page.
     // The probed span is the *host buffer* the payload derives from — for a
@@ -129,7 +149,11 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
     if (hit) {
       // Transmit straight from the cached buffers — no DMA.
       ++st.mcache_tx_hits;
+      CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache,
+                        obs::Event::kMCacheLookupHit, opts.source_va, span);
     } else {
+      CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache,
+                        obs::Event::kMCacheLookupMiss, opts.source_va, span);
       // Pull the buffer across the bus (virtually addressed DMA via the
       // board TLB), then bind it if the header asked for caching.
       std::uint64_t tlb_cycles = 0;
@@ -142,10 +166,19 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
       cursor = host_.bus().dma_read(cursor, opts.cacheable ? span : bytes);
       ++st.dma_transfers;
       st.dma_bytes += bytes;
+      CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kDma, obs::Event::kDmaTransfer,
+                        opts.cacheable ? span : bytes, 0);
       if (opts.cacheable) {
         const std::uint64_t before = mcache_.evictions();
         mcache_.insert(opts.source_va, span);
-        st.mcache_evictions += mcache_.evictions() - before;
+        const std::uint64_t evicted = mcache_.evictions() - before;
+        st.mcache_evictions += evicted;
+        CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache,
+                          obs::Event::kMCacheInsert, opts.source_va, span);
+        if (evicted != 0) {
+          CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache,
+                            obs::Event::kMCacheEvict, evicted, span);
+        }
       }
     }
   }
@@ -153,6 +186,8 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
   const sim::SimTime sar_done = tx_proc_.occupy(cursor, sar_time(bytes));
   ++st.messages_sent;
   st.bytes_sent += bytes;
+  CNI_TRACE_SPAN(obs_, t, sar_done, obs::Component::kNic, obs::Event::kTxFrame, bytes,
+                 hdr.type);
   const atm::DeliveryTiming timing = fabric_.send(sar_done, std::move(frame));
   st.cells_sent += timing.cells;
 }
@@ -169,6 +204,8 @@ void CniBoard::on_snoop(mem::PAddr pa, std::uint64_t len) {
   const mem::VAddr va = geometry_.base_of(*vpn) | geometry_.offset_of(pa);
   if (mcache_.snoop_write(va, len)) {
     ++host_.stats().mcache_snoop_updates;
+    CNI_TRACE_INSTANT(obs_, engine_.now(), obs::Component::kMCache,
+                      obs::Event::kMCacheSnoop, va, len);
   }
 }
 
@@ -192,6 +229,11 @@ void CniBoard::on_frame(atm::Frame frame) {
   cursor = rx_proc_.occupy(
       cursor,
       nic_clock_.cycles(cls.comparisons * params_.pathfinder_cycles_per_comparison));
+  CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kPathfinder,
+                    obs::Event::kPathfinderClassify, cls.comparisons,
+                    cls.via_dynamic ? 1 : 0);
+  CNI_TRACE_SPAN(obs_, arrival, cursor, obs::Component::kNic, obs::Event::kRxFrame,
+                 bytes, hdr.type);
 
   // Receive caching (paper §2.2): a message whose header carries the cache
   // bit binds its pages in the buffer map on the way in.
@@ -200,8 +242,15 @@ void CniBoard::on_frame(atm::Frame frame) {
       hdr.buffer_va != 0) {
     const std::uint64_t before = mcache_.evictions();
     mcache_.insert(hdr.buffer_va, bytes);
-    st.mcache_evictions += mcache_.evictions() - before;
+    const std::uint64_t evicted = mcache_.evictions() - before;
+    st.mcache_evictions += evicted;
     ++st.mcache_rx_inserts;
+    CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache, obs::Event::kMCacheInsert,
+                      hdr.buffer_va, bytes);
+    if (evicted != 0) {
+      CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache, obs::Event::kMCacheEvict,
+                        evicted, bytes);
+    }
   }
 
   if (Handler* h = find_handler(hdr.type); h != nullptr) {
@@ -211,11 +260,17 @@ void CniBoard::on_frame(atm::Frame frame) {
       // standard board's control path (ADC/Message Cache still apply).
       const sim::SimTime dma_done = host_.bus().dma_write(cursor, 0, bytes);
       ++st.host_interrupts;
+      CNI_TRACE_INSTANT(obs_, dma_done, obs::Component::kDma, obs::Event::kDmaTransfer,
+                        bytes, 1);
       const sim::Clock cpu = host_.cpu_clock();
       const std::uint64_t intr_cycles =
           cpu.to_cycles_ceil(params_.interrupt_latency) + params_.kernel_recv_cycles;
       host_.steal_cycles(intr_cycles);
       const sim::SimTime dispatch = dma_done + cpu.cycles(intr_cycles);
+      CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kHost, obs::Event::kHostInterrupt,
+                        bytes, 0);
+      CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kNic, obs::Event::kAihDispatch,
+                        hdr.type, 0);
       engine_.schedule_at(dispatch, atm::FrameTask(
                                         [this, h, dispatch](atm::Frame f) {
                                           RxContext ctx(*this, dispatch, /*on_nic=*/false);
@@ -227,6 +282,8 @@ void CniBoard::on_frame(atm::Frame frame) {
     // Control transfers to the Application Interrupt Handler on the board.
     const sim::SimTime dispatch =
         rx_proc_.occupy(cursor, nic_clock_.cycles(params_.aih_dispatch_cycles));
+    CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kNic, obs::Event::kAihDispatch,
+                      hdr.type, 1);
     engine_.schedule_at(dispatch, atm::FrameTask(
                                       [this, h, dispatch](atm::Frame f) {
                                         RxContext ctx(*this, dispatch, /*on_nic=*/true);
@@ -245,13 +302,29 @@ void CniBoard::on_frame(atm::Frame frame) {
     host_.cache_invalidate(hdr.buffer_va, bytes);
     ++st.dma_transfers;
     st.dma_bytes += bytes;
+    CNI_TRACE_INSTANT(obs_, done, obs::Component::kDma, obs::Event::kDmaTransfer,
+                      bytes, 1);
   }
-  if (governor_.on_arrival(arrival)) {
+  const bool interrupt = governor_.on_arrival(arrival);
+  if (interrupt != governor_intr_mode_) {
+    // Edge between notification modes: the hybrid governor switched between
+    // poll pickup (busy stream) and interrupts (idle host).
+    governor_intr_mode_ = interrupt;
+    CNI_TRACE_INSTANT(obs_, arrival, obs::Component::kGovernor,
+                      obs::Event::kGovernorModeSwitch, interrupt ? 1 : 0,
+                      governor_.average_gap());
+  }
+  if (interrupt) {
     ++st.host_interrupts;
     const std::uint64_t intr_cycles =
         host_.cpu_clock().to_cycles_ceil(params_.interrupt_latency);
     host_.steal_cycles(intr_cycles);
     done += host_.cpu_clock().cycles(intr_cycles);
+    CNI_TRACE_INSTANT(obs_, done, obs::Component::kGovernor,
+                      obs::Event::kGovernorInterrupt, governor_.average_gap(), 0);
+  } else {
+    CNI_TRACE_INSTANT(obs_, done, obs::Component::kGovernor,
+                      obs::Event::kGovernorPoll, governor_.average_gap(), 0);
   }
   deliver_to_channel(done, std::move(frame));
 }
@@ -281,6 +354,7 @@ sim::SimTime CniBoard::rx_transfer_to_host(RxContext& ctx, mem::VAddr va,
   auto& st = host_.stats();
   ++st.dma_transfers;
   st.dma_bytes += bytes;
+  CNI_TRACE_INSTANT(obs_, done, obs::Component::kDma, obs::Event::kDmaTransfer, bytes, 1);
   return done;
 }
 

@@ -20,6 +20,7 @@
 #include "core/pathfinder.hpp"
 #include "core/poll_governor.hpp"
 #include "nic/osiris.hpp"
+#include "obs/obs.hpp"
 
 namespace cni::core {
 
@@ -101,6 +102,13 @@ class CniBoard final : public nic::OsirisBoard {
   PollGovernor governor_;
   std::vector<std::unique_ptr<AdcChannel>> channels_;
   AdcChannel* system_channel_ = nullptr;
+
+  // Observability handles, resolved once at construction (cold path); the
+  // data path only ever dereferences them through the CNI_TRACE_*/CNI_OBS_*
+  // macros, which compile out under CNI_OBS_DISABLED.
+  obs::Hist* tx_wait_hist_ = nullptr;     ///< adc.tx_wait_ps
+  obs::Gauge* tx_ring_gauge_ = nullptr;   ///< adc.tx_occupancy
+  bool governor_intr_mode_ = false;       ///< last notification decision (edge detect)
 };
 
 }  // namespace cni::core

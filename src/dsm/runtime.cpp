@@ -65,7 +65,12 @@ DsmRuntime::DsmRuntime(DsmSystem& system, std::uint32_t self)
       self_(self),
       nprocs_(static_cast<std::uint32_t>(system.cluster().size())),
       vc_(nprocs_),
-      last_barrier_vc_(nprocs_) {}
+      last_barrier_vc_(nprocs_) {
+  obs_ = node_.cpu().obs();
+  if (obs_ != nullptr) {
+    fault_hist_ = obs_->metrics().histogram("dsm.fault_latency_ps");
+  }
+}
 
 void DsmRuntime::install_handlers() {
   auto& board = node_.board();
@@ -161,6 +166,10 @@ void DsmRuntime::fault(PageId p, bool write) {
   CNI_CHECK_MSG(thread_ != nullptr, "DSM fault before bind_thread");
   auto& cpu = node_.cpu();
   cpu.sync(*thread_);
+  // Fault window: trap taken (local charge settled) -> page data usable.
+  // Both endpoints are simulated instants, so the latency histogram is as
+  // deterministic as the run itself.
+  const sim::SimTime trap_at = sys_.cluster().engine().now();
   auto& st = cpu.stats();
   if (write) {
     ++st.write_faults;
@@ -171,6 +180,10 @@ void DsmRuntime::fault(PageId p, bool write) {
   PageEntry& e = entry(p);
   if (!e.readable()) fetch_page_data(e, p);
   if (write && !e.writable()) write_upgrade(e, p);
+  [[maybe_unused]] const sim::SimTime usable_at = sys_.cluster().engine().now();
+  CNI_OBS_HIST(fault_hist_, usable_at - trap_at);
+  CNI_TRACE_SPAN(obs_, trap_at, usable_at, obs::Component::kDsm, obs::Event::kDsmFault,
+                 p, write ? 1 : 0);
 }
 
 void DsmRuntime::write_upgrade(PageEntry& e, PageId p) {
@@ -704,6 +717,8 @@ void DsmRuntime::on_page_reply(Ctx& ctx, const atm::Frame& f) {
                 "page reply does not match the outstanding fetch");
   ctx.charge(sys_.params().handler_base_cycles);
   ctx.transfer_to_host(va_of_page(page), data.size());
+  CNI_TRACE_INSTANT(obs_, ctx.cursor(), obs::Component::kDsm,
+                    obs::Event::kDsmPageArrival, page, data.size());
   sys_.cluster().engine().schedule_at(
       ctx.cursor(),
       [this, data, keep = r.backing(), content = std::move(content)]() mutable {

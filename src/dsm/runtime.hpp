@@ -196,6 +196,10 @@ class DsmRuntime {
   bool lock_granted_ = false;
   bool barrier_released_ = false;
   sim::WaitQueue wq_;
+
+  // Observability handles (resolved once in the constructor; may be null).
+  obs::NodeObs* obs_ = nullptr;
+  obs::Hist* fault_hist_ = nullptr;  ///< dsm.fault_latency_ps: trap -> page usable
 };
 
 }  // namespace cni::dsm

@@ -26,6 +26,10 @@
 #include "sim/stats.hpp"
 #include "nic/wire.hpp"
 
+namespace cni::obs {
+class NodeObs;  // forward: boards take an optional observability context
+}
+
 namespace cni::nic {
 
 /// Timing/cost parameters for a board (Table 1 plus derived software costs;
@@ -78,6 +82,11 @@ class HostSystem {
   virtual mem::MemoryBus& bus() = 0;
   virtual mem::PageTable& page_table() = 0;
   virtual sim::NodeStats& stats() = 0;
+
+  /// The node's observability context, or nullptr when none is attached
+  /// (standalone boards in unit tests). Boards resolve histogram handles
+  /// through this once, in their constructors — never on the data path.
+  [[nodiscard]] virtual obs::NodeObs* obs() { return nullptr; }
 };
 
 class NicBoard {

@@ -11,7 +11,8 @@ OsirisBoard::OsirisBoard(sim::Engine& engine, atm::Fabric& fabric, HostSystem& h
       host_(host),
       params_(params),
       node_(node),
-      nic_clock_(params.nic_freq_hz) {
+      nic_clock_(params.nic_freq_hz),
+      obs_(host.obs()) {
   fabric_.attach(node, [this](atm::Frame f) { on_frame(std::move(f)); });
 }
 

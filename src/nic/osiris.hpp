@@ -51,6 +51,9 @@ class OsirisBoard : public NicBoard {
   sim::Clock nic_clock_;
   sim::ServiceQueue tx_proc_;  ///< transmit processor occupancy
   sim::ServiceQueue rx_proc_;  ///< receive processor occupancy
+  /// Node observability context (nullptr for standalone boards in tests),
+  /// resolved once here so both boards emit through the same handle.
+  obs::NodeObs* obs_ = nullptr;
 
  private:
   // Flat maps: demultiplexing runs once per received frame, and the maps

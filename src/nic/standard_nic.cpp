@@ -1,5 +1,6 @@
 #include "nic/standard_nic.hpp"
 
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 namespace cni::nic {
@@ -18,6 +19,8 @@ void StandardNic::send_from_host(sim::SimThread& self, atm::Frame frame,
     cycles += host_.flush_buffer(opts.source_va, span);
   }
   host_.charge_overhead(self, cycles);
+  CNI_TRACE_INSTANT(obs_, engine_.now(), obs::Component::kHost,
+                    obs::Event::kKernelSend, frame.size(), cycles);
   start_tx(engine_.now(), std::move(frame));
 }
 
@@ -31,6 +34,8 @@ void StandardNic::send_from_protocol(sim::SimTime ready, atm::Frame frame,
     cycles += host_.flush_buffer(opts.source_va, span);
   }
   host_.steal_cycles(cycles);
+  CNI_TRACE_INSTANT(obs_, ready, obs::Component::kHost, obs::Event::kKernelSend,
+                    frame.size(), cycles);
   start_tx(ready + host_.cpu_clock().cycles(cycles), std::move(frame));
 }
 
@@ -49,6 +54,10 @@ void StandardNic::start_tx(sim::SimTime t, atm::Frame frame) {
   st.bytes_sent += bytes;
   ++st.dma_transfers;
   st.dma_bytes += bytes;
+  CNI_TRACE_INSTANT(obs_, dma_done, obs::Component::kDma, obs::Event::kDmaTransfer,
+                    bytes, 0);
+  CNI_TRACE_SPAN(obs_, t, sar_done, obs::Component::kNic, obs::Event::kTxFrame, bytes,
+                 frame.header<MsgHeader>().type);
 
   const atm::DeliveryTiming timing = fabric_.send(sar_done, std::move(frame));
   st.cells_sent += timing.cells;
@@ -70,6 +79,14 @@ void StandardNic::on_frame(atm::Frame frame) {
       cpu.to_cycles_ceil(params_.interrupt_latency) + params_.kernel_recv_cycles;
   host_.steal_cycles(intr_cycles);
   const sim::SimTime dispatch = dma_done + cpu.cycles(intr_cycles);
+  CNI_TRACE_SPAN(obs_, arrival, rx_done, obs::Component::kNic, obs::Event::kRxFrame,
+                 frame.size(), frame.header<MsgHeader>().type);
+  CNI_TRACE_INSTANT(obs_, dma_done, obs::Component::kDma, obs::Event::kDmaTransfer,
+                    frame.size(), 1);
+  CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kHost, obs::Event::kHostInterrupt,
+                    frame.size(), 0);
+  CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kHost, obs::Event::kKernelRecv,
+                    frame.size(), intr_cycles);
 
   const MsgHeader hdr = frame.header<MsgHeader>();
   if (Handler* h = find_handler(hdr.type); h != nullptr) {

@@ -1,0 +1,28 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace cni::obs {
+
+std::uint64_t Hist::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  // Rank of the percentile sample, 1-based, rounded up (nearest-rank method):
+  // the smallest value v such that at least p% of samples are <= v.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_) / 100.0));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed extremes: a one-sample bucket shouldn't report
+      // a bound beyond the true max.
+      const std::uint64_t bound = bucket_bound(i);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+}  // namespace cni::obs

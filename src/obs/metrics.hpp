@@ -1,0 +1,159 @@
+// Metrics registry: named counters, gauges and log-2 latency histograms.
+//
+// Handles are resolved by name exactly once, at setup (board/runtime
+// constructors); the hot path touches a plain uint64 or a histogram bucket —
+// no string lookups, no allocation after init (enforced by the hot-path
+// rules in scripts/lint_cni.py, which cover src/obs/).
+//
+// Counters come in two flavours: *bound* counters are read-only views onto
+// externally-owned fields (the legacy sim::NodeStats accounts — binding
+// instead of duplicating is what makes the migration cross-check exact by
+// construction), and *owned* counters live in the registry for components
+// with no NodeStats field.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cni::obs {
+
+/// Fixed-bucket base-2 logarithmic histogram. Bucket i counts values whose
+/// bit width is i (bucket 0: value 0; bucket i: 2^(i-1) <= v < 2^i), so one
+/// 64-entry array covers the full uint64 range — picosecond latencies from
+/// sub-nanosecond to hours land in distinct buckets with ~2x resolution.
+class Hist {
+ public:
+  static constexpr std::uint32_t kBuckets = 65;
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] static std::uint32_t bucket_of(std::uint64_t v) {
+    return static_cast<std::uint32_t>(64 - static_cast<std::uint32_t>(__builtin_clzll(v | 1)) -
+                                      (v == 0 ? 1 : 0));
+  }
+  /// Inclusive upper bound of bucket i (the value reported for percentiles).
+  [[nodiscard]] static std::uint64_t bucket_bound(std::uint32_t i) {
+    return i == 0 ? 0 : (i >= 64 ? ~0ULL : (1ULL << i) - 1);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::uint32_t i) const { return buckets_[i]; }
+
+  /// Upper bound of the bucket containing the p-th percentile (p in 0..100).
+  /// The true max is reported for p >= 100 so `percentile(100) == max()`.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// A last-value gauge with a high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t d) { set(value_ + d); }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// One node's named metrics. Registration happens at setup; deques keep
+/// every handed-out pointer stable for the life of the registry.
+class Metrics {
+ public:
+  /// Registers `name` as a view onto an externally-owned counter field.
+  void bind_counter(std::string name, const std::uint64_t* value) {
+    CNI_CHECK(value != nullptr);
+    counters_.push_back(CounterEntry{std::move(name), value, nullptr});
+  }
+
+  /// Returns the owned counter registered under `name`, creating it on first
+  /// use. Resolve once at setup; bump through the pointer on the hot path.
+  [[nodiscard]] std::uint64_t* counter(const std::string& name) {
+    for (CounterEntry& e : counters_) {
+      if (e.owned != nullptr && e.name == name) return e.owned;
+    }
+    owned_counters_.push_back(0);
+    counters_.push_back(CounterEntry{name, &owned_counters_.back(), &owned_counters_.back()});
+    return &owned_counters_.back();
+  }
+
+  [[nodiscard]] Hist* histogram(const std::string& name) {
+    for (HistEntry& e : hists_) {
+      if (e.name == name) return &e.hist;
+    }
+    hists_.push_back(HistEntry{name, Hist{}});
+    return &hists_.back().hist;
+  }
+
+  [[nodiscard]] Gauge* gauge(const std::string& name) {
+    for (GaugeEntry& e : gauges_) {
+      if (e.name == name) return &e.gauge;
+    }
+    gauges_.push_back(GaugeEntry{name, Gauge{}});
+    return &gauges_.back().gauge;
+  }
+
+  /// fn(name, value) over every counter, in registration order.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const CounterEntry& e : counters_) fn(e.name, *e.value);
+  }
+
+  /// fn(name, const Hist&) in registration order.
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    for (const HistEntry& e : hists_) fn(e.name, e.hist);
+  }
+
+  /// fn(name, const Gauge&) in registration order.
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const GaugeEntry& e : gauges_) fn(e.name, e.gauge);
+  }
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    const std::uint64_t* value;  ///< what for_each_counter reads
+    std::uint64_t* owned;        ///< non-null iff the registry owns the value
+  };
+  struct HistEntry {
+    std::string name;
+    Hist hist;
+  };
+  struct GaugeEntry {
+    std::string name;
+    Gauge gauge;
+  };
+
+  std::vector<CounterEntry> counters_;
+  std::deque<std::uint64_t> owned_counters_;  // stable addresses
+  std::deque<HistEntry> hists_;
+  std::deque<GaugeEntry> gauges_;
+};
+
+}  // namespace cni::obs

@@ -1,0 +1,12 @@
+#include "obs/obs.hpp"
+
+namespace cni::obs {
+
+void RunObs::bind_node_stats(std::uint32_t i, const sim::NodeStats& st) {
+  NodeObs& n = node(i);
+  for (const sim::NodeStats::Field& f : sim::NodeStats::fields()) {
+    n.metrics().bind_counter(f.name, &(st.*f.member));
+  }
+}
+
+}  // namespace cni::obs

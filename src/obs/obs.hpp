@@ -1,0 +1,167 @@
+// Observability context: one NodeObs per simulated node, one RunObs per
+// cluster, and the emit macros every instrumentation site goes through.
+//
+// Two off switches, by design:
+//   * runtime  — Options::trace (CNI_TRACE env / --trace-out). When off, an
+//     emit site is one pointer test and one predictable branch.
+//   * compile  — -DCNI_OBS_DISABLED. The CNI_TRACE_* / CNI_OBS_HIST macros
+//     expand to nothing, so the instrumented hot paths are bit-for-bit the
+//     uninstrumented code (bench/micro_obs measures both switches).
+//
+// The macros deliberately gate on the NodeObs pointer so unit tests and
+// microbenchmarks can instrument components without a full cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/options.hpp"
+#include "obs/taxonomy.hpp"
+#include "obs/trace.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace cni::obs {
+
+/// One node's trace ring + metrics registry.
+class NodeObs {
+ public:
+  NodeObs(std::uint32_t node, const Options& opts)
+      : ring_(opts.trace_capacity), node_(static_cast<std::uint16_t>(node)),
+        tracing_(opts.trace) {}
+
+  [[nodiscard]] bool tracing() const { return tracing_; }
+  [[nodiscard]] std::uint32_t node() const { return node_; }
+  [[nodiscard]] TraceRing& ring() { return ring_; }
+  [[nodiscard]] const TraceRing& ring() const { return ring_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  // Emit paths — call through the CNI_TRACE_* macros, not directly, so the
+  // compile-time kill switch removes the call sites.
+  void instant(sim::SimTime t, Component c, Event e, std::uint64_t a0, std::uint64_t a1) {
+    record(t, 0, c, e, Kind::kInstant, a0, a1);
+  }
+  void span(sim::SimTime t0, sim::SimTime t1, Component c, Event e, std::uint64_t a0,
+            std::uint64_t a1) {
+    record(t0, t1 >= t0 ? t1 - t0 : 0, c, e, Kind::kSpan, a0, a1);
+  }
+  void counter(sim::SimTime t, Component c, Event e, std::uint64_t value) {
+    record(t, 0, c, e, Kind::kCounter, value, 0);
+  }
+
+ private:
+  void record(sim::SimTime t, sim::SimDuration dur, Component c, Event e, Kind k,
+              std::uint64_t a0, std::uint64_t a1) {
+    TraceRecord r;
+    r.time = t;
+    r.dur = dur;
+    r.arg0 = a0;
+    r.arg1 = a1;
+    r.node = node_;
+    r.component = c;
+    r.event = e;
+    r.kind = k;
+    ring_.record(r);
+  }
+
+  TraceRing ring_;
+  Metrics metrics_;
+  std::uint16_t node_;
+  bool tracing_;
+};
+
+/// Per-run (per-cluster) observability: one NodeObs per node.
+class RunObs {
+ public:
+  RunObs(std::uint32_t nodes, const Options& opts) : opts_(opts) {
+    nodes_.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      nodes_.push_back(std::make_unique<NodeObs>(i, opts));
+    }
+  }
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] NodeObs& node(std::uint32_t i) { return *nodes_.at(i); }
+  [[nodiscard]] const NodeObs& node(std::uint32_t i) const { return *nodes_.at(i); }
+
+  /// Registers the legacy NodeStats accounts as bound counters, one view per
+  /// field. The registry reads the very fields the legacy path increments,
+  /// which is what makes `metrics totals == NodeStats` exact by construction.
+  void bind_node_stats(std::uint32_t i, const sim::NodeStats& st);
+
+ private:
+  Options opts_;
+  std::vector<std::unique_ptr<NodeObs>> nodes_;  // stable NodeObs addresses
+};
+
+}  // namespace cni::obs
+
+// ---------------------------------------------------------------------------
+// Emit macros. CNI_OBS_ENABLED reflects the compile-time kill switch; when
+// off, every macro vanishes (arguments are not evaluated).
+// ---------------------------------------------------------------------------
+
+#if defined(CNI_OBS_DISABLED)
+#define CNI_OBS_ENABLED 0
+#else
+#define CNI_OBS_ENABLED 1
+#endif
+
+#if CNI_OBS_ENABLED
+
+// Note: the context parameter is `ctx_`, not `obs` — a parameter named `obs`
+// would capture the `obs` token inside `::cni::obs::NodeObs` during expansion.
+
+#define CNI_TRACE_INSTANT(ctx_, t, comp, evt, a0, a1)                             \
+  do {                                                                            \
+    ::cni::obs::NodeObs* cni_obs_o_ = (ctx_);                                     \
+    if (cni_obs_o_ != nullptr && cni_obs_o_->tracing()) {                         \
+      cni_obs_o_->instant((t), (comp), (evt), (a0), (a1));                        \
+    }                                                                             \
+  } while (0)
+
+#define CNI_TRACE_SPAN(ctx_, t0, t1, comp, evt, a0, a1)                           \
+  do {                                                                            \
+    ::cni::obs::NodeObs* cni_obs_o_ = (ctx_);                                     \
+    if (cni_obs_o_ != nullptr && cni_obs_o_->tracing()) {                         \
+      cni_obs_o_->span((t0), (t1), (comp), (evt), (a0), (a1));                    \
+    }                                                                             \
+  } while (0)
+
+#define CNI_TRACE_COUNTER(ctx_, t, comp, evt, value)                              \
+  do {                                                                            \
+    ::cni::obs::NodeObs* cni_obs_o_ = (ctx_);                                     \
+    if (cni_obs_o_ != nullptr && cni_obs_o_->tracing()) {                         \
+      cni_obs_o_->counter((t), (comp), (evt), (value));                           \
+    }                                                                             \
+  } while (0)
+
+/// Records into a pre-resolved histogram handle (null-safe).
+#define CNI_OBS_HIST(hist, value)                                                 \
+  do {                                                                            \
+    ::cni::obs::Hist* cni_obs_h_ = (hist);                                        \
+    if (cni_obs_h_ != nullptr) cni_obs_h_->record(value);                         \
+  } while (0)
+
+/// Sets a pre-resolved gauge handle (null-safe).
+#define CNI_OBS_GAUGE_SET(gauge, value)                                           \
+  do {                                                                            \
+    ::cni::obs::Gauge* cni_obs_g_ = (gauge);                                      \
+    if (cni_obs_g_ != nullptr) cni_obs_g_->set(value);                            \
+  } while (0)
+
+#else  // CNI_OBS_DISABLED
+
+#define CNI_TRACE_INSTANT(ctx_, t, comp, evt, a0, a1) do { } while (0)
+#define CNI_TRACE_SPAN(ctx_, t0, t1, comp, evt, a0, a1) do { } while (0)
+#define CNI_TRACE_COUNTER(ctx_, t, comp, evt, value) do { } while (0)
+#define CNI_OBS_HIST(hist, value) do { } while (0)
+#define CNI_OBS_GAUGE_SET(gauge, value) do { } while (0)
+
+#endif  // CNI_OBS_ENABLED

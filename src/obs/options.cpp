@@ -1,0 +1,53 @@
+#include "obs/options.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace cni::obs {
+namespace {
+
+// Packed {initialized, trace, capacity} so reads are a single atomic load.
+// Writers (env init, Reporter construction) run before sweep threads spawn;
+// the atomic keeps the cross-thread *reads* well-defined under TSan.
+struct PackedOptions {
+  bool init = false;
+  bool trace = false;
+  std::uint32_t capacity = 4096;
+};
+std::atomic<PackedOptions> g_defaults{PackedOptions{}};
+
+PackedOptions from_env() {
+  PackedOptions p;
+  p.init = true;
+  const char* trace = std::getenv("CNI_TRACE");
+  p.trace = trace != nullptr && trace[0] != '\0' && trace[0] != '0';
+  if (const char* cap = std::getenv("CNI_TRACE_CAPACITY"); cap != nullptr) {
+    const unsigned long v = std::strtoul(cap, nullptr, 10);
+    if (v > 0) p.capacity = static_cast<std::uint32_t>(v);
+  }
+  return p;
+}
+
+}  // namespace
+
+Options default_options() {
+  PackedOptions p = g_defaults.load(std::memory_order_acquire);
+  if (!p.init) {
+    p = from_env();
+    g_defaults.store(p, std::memory_order_release);
+  }
+  Options o;
+  o.trace = p.trace;
+  o.trace_capacity = p.capacity;
+  return o;
+}
+
+void set_default_options(const Options& opts) {
+  PackedOptions p;
+  p.init = true;
+  p.trace = opts.trace;
+  p.capacity = opts.trace_capacity;
+  g_defaults.store(p, std::memory_order_release);
+}
+
+}  // namespace cni::obs

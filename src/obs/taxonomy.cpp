@@ -1,0 +1,45 @@
+#include "obs/taxonomy.hpp"
+
+namespace cni::obs {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kMCache: return "mcache";
+    case Component::kAdc: return "adc";
+    case Component::kPathfinder: return "pathfinder";
+    case Component::kDma: return "dma";
+    case Component::kGovernor: return "governor";
+    case Component::kDsm: return "dsm";
+    case Component::kNic: return "nic";
+    case Component::kHost: return "host";
+  }
+  return "unknown";
+}
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kMCacheLookupHit: return "mcache.lookup_hit";
+    case Event::kMCacheLookupMiss: return "mcache.lookup_miss";
+    case Event::kMCacheInsert: return "mcache.insert";
+    case Event::kMCacheEvict: return "mcache.evict";
+    case Event::kMCacheSnoop: return "mcache.snoop";
+    case Event::kAdcEnqueueTx: return "adc.enqueue_tx";
+    case Event::kAdcTxWait: return "adc.tx_wait";
+    case Event::kPathfinderClassify: return "pathfinder.classify";
+    case Event::kDmaTransfer: return "dma.transfer";
+    case Event::kGovernorInterrupt: return "governor.interrupt";
+    case Event::kGovernorPoll: return "governor.poll";
+    case Event::kGovernorModeSwitch: return "governor.mode_switch";
+    case Event::kTxFrame: return "nic.tx_frame";
+    case Event::kRxFrame: return "nic.rx_frame";
+    case Event::kAihDispatch: return "nic.aih_dispatch";
+    case Event::kDsmFault: return "dsm.fault";
+    case Event::kDsmPageArrival: return "dsm.page_arrival";
+    case Event::kKernelSend: return "host.kernel_send";
+    case Event::kKernelRecv: return "host.kernel_recv";
+    case Event::kHostInterrupt: return "host.interrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace cni::obs

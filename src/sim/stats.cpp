@@ -2,34 +2,41 @@
 
 namespace cni::sim {
 
+const std::vector<NodeStats::Field>& NodeStats::fields() {
+  static const std::vector<Field> kFields = {
+      {"cpu.compute_cycles", &NodeStats::compute_cycles},
+      {"cpu.synch_overhead_cycles", &NodeStats::synch_overhead_cycles},
+      {"cpu.synch_delay_cycles", &NodeStats::synch_delay_cycles},
+      {"mcache.tx_lookups", &NodeStats::mcache_tx_lookups},
+      {"mcache.tx_hits", &NodeStats::mcache_tx_hits},
+      {"mcache.rx_inserts", &NodeStats::mcache_rx_inserts},
+      {"mcache.evictions", &NodeStats::mcache_evictions},
+      {"mcache.snoop_updates", &NodeStats::mcache_snoop_updates},
+      {"nic.messages_sent", &NodeStats::messages_sent},
+      {"nic.bytes_sent", &NodeStats::bytes_sent},
+      {"nic.cells_sent", &NodeStats::cells_sent},
+      {"nic.dma_transfers", &NodeStats::dma_transfers},
+      {"nic.dma_bytes", &NodeStats::dma_bytes},
+      {"nic.host_interrupts", &NodeStats::host_interrupts},
+      {"nic.host_polls", &NodeStats::host_polls},
+      {"dsm.read_faults", &NodeStats::read_faults},
+      {"dsm.write_faults", &NodeStats::write_faults},
+      {"dsm.pages_fetched", &NodeStats::pages_fetched},
+      {"dsm.diffs_created", &NodeStats::diffs_created},
+      {"dsm.diffs_applied", &NodeStats::diffs_applied},
+      {"dsm.write_notices_received", &NodeStats::write_notices_received},
+      {"dsm.lock_acquires", &NodeStats::lock_acquires},
+      {"dsm.barriers", &NodeStats::barriers},
+  };
+  return kFields;
+}
+
 void NodeStats::add(const NodeStats& o) {
-  compute_cycles += o.compute_cycles;
-  synch_overhead_cycles += o.synch_overhead_cycles;
-  synch_delay_cycles += o.synch_delay_cycles;
-  mcache_tx_lookups += o.mcache_tx_lookups;
-  mcache_tx_hits += o.mcache_tx_hits;
-  mcache_rx_inserts += o.mcache_rx_inserts;
-  mcache_evictions += o.mcache_evictions;
-  mcache_snoop_updates += o.mcache_snoop_updates;
-  messages_sent += o.messages_sent;
-  bytes_sent += o.bytes_sent;
-  cells_sent += o.cells_sent;
-  dma_transfers += o.dma_transfers;
-  dma_bytes += o.dma_bytes;
-  host_interrupts += o.host_interrupts;
-  host_polls += o.host_polls;
-  read_faults += o.read_faults;
-  write_faults += o.write_faults;
-  pages_fetched += o.pages_fetched;
-  diffs_created += o.diffs_created;
-  diffs_applied += o.diffs_applied;
-  write_notices_received += o.write_notices_received;
-  lock_acquires += o.lock_acquires;
-  barriers += o.barriers;
+  for (const Field& f : fields()) this->*f.member += o.*f.member;
 }
 
 double NodeStats::tx_hit_ratio_pct() const {
-  if (mcache_tx_lookups == 0) return 100.0;
+  if (!has_lookups()) return 0.0;
   return 100.0 * static_cast<double>(mcache_tx_hits) /
          static_cast<double>(mcache_tx_lookups);
 }

@@ -46,8 +46,26 @@ struct NodeStats {
 
   void add(const NodeStats& other);
 
-  /// Transmit hit ratio in percent; 100 if there were no lookups.
+  /// True once at least one transmit-side lookup happened. Hit ratio is
+  /// meaningless before then; callers that print ratios should check this
+  /// instead of special-casing 0 lookups themselves.
+  [[nodiscard]] bool has_lookups() const { return mcache_tx_lookups != 0; }
+
+  /// Transmit hit ratio in percent. 0 when there were no lookups — a node
+  /// that never probed the cache has not "hit 100%" of anything, and a NaN
+  /// here would poison downstream averages. Gate on has_lookups() to tell
+  /// "no traffic" apart from "all misses".
   [[nodiscard]] double tx_hit_ratio_pct() const;
+
+  /// One entry per counter field, in declaration order.
+  struct Field {
+    const char* name;             ///< dotted metric name, e.g. "mcache.tx_hits"
+    std::uint64_t NodeStats::* member;
+  };
+  /// The full counter schema. add() and every serializer iterate this table,
+  /// so adding a field here is the single step that propagates it to the
+  /// aggregates, the metrics registry and the machine-readable reports.
+  [[nodiscard]] static const std::vector<Field>& fields();
 };
 
 /// One account per simulated node plus whole-run metadata.

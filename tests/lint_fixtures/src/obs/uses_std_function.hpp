@@ -1,0 +1,10 @@
+// Fixture: src/obs sits on the per-event emit path (trace records, metric
+// updates), so type-erased heap callables are banned there like in src/sim.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+inline std::function<void()> fixture_obs_callback;
+}  // namespace fixture

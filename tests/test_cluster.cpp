@@ -107,9 +107,13 @@ TEST(Cluster, StatsNodeCountMatches) {
 
 TEST(NodeStats, HitRatioDefinition) {
   sim::NodeStats st;
-  EXPECT_DOUBLE_EQ(st.tx_hit_ratio_pct(), 100.0);  // no lookups: vacuous
+  // No lookups: no ratio to report. Callers that care distinguish "no cache
+  // activity" from "0% hit rate" via has_lookups().
+  EXPECT_FALSE(st.has_lookups());
+  EXPECT_DOUBLE_EQ(st.tx_hit_ratio_pct(), 0.0);
   st.mcache_tx_lookups = 8;
   st.mcache_tx_hits = 6;
+  EXPECT_TRUE(st.has_lookups());
   EXPECT_DOUBLE_EQ(st.tx_hit_ratio_pct(), 75.0);
 }
 

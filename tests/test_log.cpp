@@ -1,0 +1,93 @@
+// util::Logger: sim-time prefix hook, structured JSON mode, level gating.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace cni::util {
+namespace {
+
+/// Runs `body` with the logger redirected to a tmpfile and returns what it
+/// wrote. Restores the default stream/level/mode afterwards.
+template <typename Fn>
+std::string capture_log(Fn&& body) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  Logger::set_stream(f);
+  body();
+  Logger::set_stream(nullptr);
+  Logger::set_level(LogLevel::kWarn);
+  Logger::set_json(false);
+  Logger::set_time_hook(nullptr, nullptr);
+
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[256];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::uint64_t fixed_time(void* ctx) { return *static_cast<std::uint64_t*>(ctx); }
+
+TEST(Logger, PlainLineWithoutHookHasNoTimestamp) {
+  const std::string out = capture_log([] { CNI_LOG_ERROR("boom %d", 7); });
+  EXPECT_EQ(out, "[cni:E] boom 7\n");
+}
+
+TEST(Logger, TimeHookStampsSimulatedPicoseconds) {
+  std::uint64_t now = 12345;
+  const std::string out = capture_log([&] {
+    const ScopedLogTime scoped(&fixed_time, &now);
+    CNI_LOG_WARN("hello");
+    now = 67890;  // the hook is consulted per line
+    CNI_LOG_ERROR("again");
+  });
+  EXPECT_EQ(out, "[cni:W t=12345] hello\n[cni:E t=67890] again\n");
+}
+
+TEST(Logger, ScopedHookUninstallsOnExit) {
+  std::uint64_t now = 42;
+  const std::string out = capture_log([&] {
+    { const ScopedLogTime scoped(&fixed_time, &now); }
+    CNI_LOG_ERROR("late");
+  });
+  EXPECT_EQ(out, "[cni:E] late\n");
+}
+
+TEST(Logger, JsonModeEmitsOneObjectPerLine) {
+  std::uint64_t now = 99;
+  const std::string out = capture_log([&] {
+    Logger::set_json(true);
+    const ScopedLogTime scoped(&fixed_time, &now);
+    CNI_LOG_WARN("said \"hi\"\tto %s", "node\n0");
+  });
+  EXPECT_EQ(out, "{\"lvl\":\"W\",\"t\":99,\"msg\":\"said \\\"hi\\\"\\tto node\\n0\"}\n");
+}
+
+TEST(Logger, JsonModeOmitsTimeWithoutHook) {
+  const std::string out = capture_log([] {
+    Logger::set_json(true);
+    CNI_LOG_ERROR("plain");
+  });
+  EXPECT_EQ(out, "{\"lvl\":\"E\",\"msg\":\"plain\"}\n");
+}
+
+TEST(Logger, LevelGatesLines) {
+  const std::string out = capture_log([] {
+    Logger::set_level(LogLevel::kError);
+    CNI_LOG_WARN("dropped");
+    CNI_LOG_ERROR("kept");
+  });
+  EXPECT_EQ(out, "[cni:E] kept\n");
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));  // default level restored
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+}
+
+}  // namespace
+}  // namespace cni::util

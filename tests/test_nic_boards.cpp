@@ -2,6 +2,8 @@
 // kernel/interrupt paths on the standard NIC.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "apps/runner.hpp"
 #include "cluster/cluster.hpp"
 #include "core/cni_board.hpp"
@@ -26,7 +28,9 @@ atm::Frame make_msg(cluster::Cluster& cl, std::uint32_t src, std::uint32_t dst,
   h.src_node = src;
   h.seq = cl.node(src).board().next_seq();
   h.buffer_va = buffer_va;
-  return atm::Frame::make(src, dst, 1, h, std::vector<std::byte>(body_bytes));
+  atm::Frame f = atm::Frame::blank(src, dst, 1, sizeof(h) + body_bytes);
+  std::memcpy(f.mutable_bytes().data(), &h, sizeof(h));
+  return f;
 }
 
 TEST(CniBoard, TransmitCachingSkipsSecondDma) {

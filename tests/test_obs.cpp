@@ -1,0 +1,182 @@
+// Observability primitives: histogram math, metrics registry, emit macros,
+// and the bound-counter bridge to the legacy NodeStats accounts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/stats.hpp"
+
+namespace cni::obs {
+namespace {
+
+TEST(Hist, BucketOfIsBitWidth) {
+  EXPECT_EQ(Hist::bucket_of(0), 0u);
+  EXPECT_EQ(Hist::bucket_of(1), 1u);
+  EXPECT_EQ(Hist::bucket_of(2), 2u);
+  EXPECT_EQ(Hist::bucket_of(3), 2u);
+  EXPECT_EQ(Hist::bucket_of(4), 3u);
+  EXPECT_EQ(Hist::bucket_of(1023), 10u);
+  EXPECT_EQ(Hist::bucket_of(1024), 11u);
+  EXPECT_EQ(Hist::bucket_of(~0ULL), 64u);
+}
+
+TEST(Hist, BucketBoundIsInclusiveUpperEdge) {
+  EXPECT_EQ(Hist::bucket_bound(0), 0u);
+  EXPECT_EQ(Hist::bucket_bound(1), 1u);
+  EXPECT_EQ(Hist::bucket_bound(2), 3u);
+  EXPECT_EQ(Hist::bucket_bound(10), 1023u);
+  EXPECT_EQ(Hist::bucket_bound(64), ~0ULL);
+}
+
+TEST(Hist, AggregatesAndEmptyBehaviour) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  h.record(7);
+  h.record(3);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Hist, PercentilesUseNearestRankClampedToMax) {
+  Hist h;
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 50; ++i) h.record(1000);
+  // rank(50) = 50 -> still in the value-1 bucket.
+  EXPECT_EQ(h.percentile(50), 1u);
+  // rank(95) = 95 -> the value-1000 bucket ([512, 1023]); reported value is
+  // the bucket bound clamped to the observed max.
+  EXPECT_EQ(h.percentile(95), 1000u);
+  EXPECT_EQ(h.percentile(0), 1u);      // <= 0 reports the min
+  EXPECT_EQ(h.percentile(100), 1000u); // >= 100 reports the true max
+}
+
+TEST(Gauge, TracksValueAndHighWater) {
+  Gauge g;
+  g.set(5);
+  g.add(3);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 8);
+}
+
+TEST(Metrics, OwnedCounterResolvesToStableHandle) {
+  Metrics m;
+  std::uint64_t* a = m.counter("x");
+  std::uint64_t* b = m.counter("y");
+  EXPECT_EQ(m.counter("x"), a);  // same name, same handle
+  *a += 2;
+  *b += 5;
+  std::vector<std::pair<std::string, std::uint64_t>> seen;
+  m.for_each_counter([&](const std::string& n, std::uint64_t v) { seen.emplace_back(n, v); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::uint64_t>{"x", 2}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::uint64_t>{"y", 5}));
+}
+
+TEST(Metrics, BoundCounterIsALiveView) {
+  Metrics m;
+  std::uint64_t external = 0;
+  m.bind_counter("ext", &external);
+  external = 41;
+  std::uint64_t read = 0;
+  m.for_each_counter([&](const std::string&, std::uint64_t v) { read = v; });
+  EXPECT_EQ(read, 41u);  // no copy was taken at bind time
+}
+
+TEST(Metrics, HistogramAndGaugeHandlesAreStable) {
+  Metrics m;
+  Hist* h = m.histogram("lat");
+  Gauge* g = m.gauge("occ");
+  // Creating more entries must not invalidate earlier handles (deque-backed).
+  for (int i = 0; i < 100; ++i) {
+    (void)m.histogram("lat" + std::to_string(i));
+    (void)m.gauge("occ" + std::to_string(i));
+  }
+  EXPECT_EQ(m.histogram("lat"), h);
+  EXPECT_EQ(m.gauge("occ"), g);
+}
+
+TEST(NodeObs, RecordsAllThreeKinds) {
+  Options opts;
+  opts.trace = true;
+  opts.trace_capacity = 16;
+  NodeObs obs(3, opts);
+  obs.instant(100, Component::kMCache, Event::kMCacheLookupHit, 1, 2);
+  obs.span(200, 250, Component::kAdc, Event::kAdcTxWait, 3, 4);
+  obs.span(300, 290, Component::kAdc, Event::kAdcTxWait, 0, 0);  // clamps, never underflows
+  obs.counter(400, Component::kAdc, Event::kAdcEnqueueTx, 9);
+
+  std::vector<TraceRecord> rs;
+  obs.ring().for_each([&](const TraceRecord& r) { rs.push_back(r); });
+  ASSERT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs[0].kind, Kind::kInstant);
+  EXPECT_EQ(rs[0].node, 3u);
+  EXPECT_EQ(rs[0].arg1, 2u);
+  EXPECT_EQ(rs[1].kind, Kind::kSpan);
+  EXPECT_EQ(rs[1].dur, 50u);
+  EXPECT_EQ(rs[2].dur, 0u);
+  EXPECT_EQ(rs[3].kind, Kind::kCounter);
+  EXPECT_EQ(rs[3].arg0, 9u);
+}
+
+TEST(ObsMacros, NullHandlesAndDisabledTracingAreSafeNoOps) {
+  // Passes in both switch positions: with obs compiled in, the null/quiet
+  // handles gate every emit; under CNI_OBS_DISABLED the macros expand to
+  // nothing and the ring is trivially empty.
+  NodeObs* none = nullptr;
+  CNI_TRACE_INSTANT(none, 1, Component::kDsm, Event::kDsmFault, 0, 0);
+  CNI_OBS_HIST(static_cast<Hist*>(nullptr), 5);
+  CNI_OBS_GAUGE_SET(static_cast<Gauge*>(nullptr), 5);
+
+  Options off;  // trace defaults to false
+  NodeObs quiet(0, off);
+  NodeObs* q = &quiet;
+  CNI_TRACE_INSTANT(q, 1, Component::kDsm, Event::kDsmFault, 0, 0);
+  CNI_TRACE_SPAN(q, 1, 2, Component::kDsm, Event::kDsmFault, 0, 0);
+  CNI_TRACE_COUNTER(q, 1, Component::kDsm, Event::kDsmFault, 0);
+  EXPECT_EQ(quiet.ring().recorded(), 0u);
+}
+
+TEST(RunObs, BindNodeStatsMirrorsTheLegacyAccountsExactly) {
+  Options opts;
+  RunObs run(2, opts);
+  sim::NodeStats st;
+  run.bind_node_stats(0, st);
+
+  st.messages_sent = 3;
+  st.mcache_tx_hits = 7;
+  st.dma_bytes = 4096;
+
+  // Every NodeStats field appears, and reads the live legacy value.
+  std::size_t entries = 0;
+  std::uint64_t messages = 0, hits = 0, dma = 0;
+  run.node(0).metrics().for_each_counter([&](const std::string& n, std::uint64_t v) {
+    ++entries;
+    if (n == "nic.messages_sent") messages = v;
+    if (n == "mcache.tx_hits") hits = v;
+    if (n == "nic.dma_bytes") dma = v;
+  });
+  EXPECT_EQ(entries, sim::NodeStats::fields().size());
+  EXPECT_EQ(messages, 3u);
+  EXPECT_EQ(hits, 7u);
+  EXPECT_EQ(dma, 4096u);
+}
+
+TEST(Taxonomy, NamesAreStableIdentifiers) {
+  EXPECT_STREQ(component_name(Component::kMCache), "mcache");
+  EXPECT_STREQ(component_name(Component::kDsm), "dsm");
+  EXPECT_STREQ(event_name(Event::kMCacheLookupHit), "mcache.lookup_hit");
+  EXPECT_STREQ(event_name(Event::kDsmPageArrival), "dsm.page_arrival");
+}
+
+}  // namespace
+}  // namespace cni::obs
