@@ -63,6 +63,11 @@ void BM_ScheduleCancel(benchmark::State& state) {
 BENCHMARK(BM_ScheduleCancel)->Arg(100000);
 
 void BM_FiberSwitch(benchmark::State& state) {
+  // Pins the _setjmp/_longjmp fast path in sim/process.cpp: after a fiber's
+  // first ucontext entry, every switch is a user-space jmp_buf transfer with
+  // no sigprocmask syscall. Builds defining CNI_FIBER_UCONTEXT_ONLY (the
+  // sanitizer configs) fall back to swapcontext and will read ~10x slower
+  // here; that gap is the cost this benchmark exists to keep visible.
   for (auto _ : state) {
     Engine e;
     const int n = static_cast<int>(state.range(0));

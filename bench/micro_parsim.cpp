@@ -1,0 +1,293 @@
+// Parallel-in-run simulation benchmark (DESIGN.md §12).
+//
+// Two 256-processor points, each run under the legacy single-engine mode and
+// the sharded mode at K = 1, 2, 4:
+//
+//   * pingpong — every node exchanges request/reply frames with a neighbour
+//     (handler-serviced, no DSM), with a small deterministic per-round
+//     compute jitter so event times decorrelate. All nodes are active the
+//     whole run: this is the event-dense regime shard parallelism exists
+//     for, and the headline point BENCH_parsim.json pins.
+//   * jacobi — a fig04-class DSM point (4 rows per node). Its inter-barrier
+//     fault storms parallelize, but the per-iteration barrier serializes
+//     through node 0, so its event-parallelism stays near 1 — recorded as
+//     the honest bound for barrier-dominated applications.
+//
+// Each mode reports two speedup views:
+//
+//   * measured wall-clock (host-dependent: on a single-core host K > 1 buys
+//     nothing and the epoch rendezvous costs a little);
+//   * event-parallelism from the deterministic EpochStats — total events
+//     divided by the critical path (the busiest shard's events summed over
+//     epochs). This is the speedup an ideal K-core host can approach and is
+//     byte-identical on every machine, which is why BENCH_parsim.json pins
+//     it alongside the local wall measurement (context block says how many
+//     CPUs the wall numbers had to work with).
+//
+// The binary also cross-checks the headline determinism claim: the simulated
+// elapsed cycles must be identical for every K (legacy may differ in the
+// last digits; see SimParams::sim_shards).
+//
+// Usage: micro_parsim [--json] [--fast] [--procs=N] [--n=N] [--iters=N]
+//        [--rounds=N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "nic/wire.hpp"
+#include "sim/channel.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+struct ModeResult {
+  std::string name;
+  double wall_ms = 0;
+  std::uint64_t elapsed_cycles = 0;
+  cni::sim::EpochStats stats;  // zeros in legacy mode
+};
+
+cni::cluster::SimParams mode_params(std::uint32_t shards, std::uint32_t processors) {
+  cni::cluster::SimParams params =
+      cni::apps::make_params(cni::cluster::BoardKind::kCni, processors);
+  params.fabric.switch_ports = processors;
+  params.sim_shards = shards;
+  return params;
+}
+
+ModeResult run_jacobi_mode(const std::string& name, std::uint32_t shards,
+                           std::uint32_t processors,
+                           const cni::apps::JacobiConfig& cfg) {
+  const cni::cluster::SimParams params = mode_params(shards, processors);
+  const auto t0 = std::chrono::steady_clock::now();
+  const cni::apps::RunResult r = cni::apps::run_jacobi(params, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ModeResult m;
+  m.name = name;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.elapsed_cycles = r.elapsed_cycles;
+  m.stats = r.parsim;
+  return m;
+}
+
+constexpr cni::nic::MsgType kPing = cni::nic::kTypeHandlerBase + 60;
+constexpr cni::nic::MsgType kPong = cni::nic::kTypeAppBase + 60;
+
+ModeResult run_pingpong_mode(const std::string& name, std::uint32_t shards,
+                             std::uint32_t processors, std::uint32_t rounds) {
+  using namespace cni;
+  CNI_CHECK(processors % 2 == 0);
+  cluster::Cluster cl(mode_params(shards, processors));
+
+  // Request service on every board: bump a header field, reply. On a CNI
+  // board this runs on the network processor, so the whole exchange is
+  // NIC-to-NIC traffic — exactly the cross-node event stream the fabric's
+  // lookahead governs.
+  for (std::uint32_t n = 0; n < processors; ++n) {
+    cl.node(n).board().install_handler(
+        kPing,
+        [&cl, n](nic::NicBoard::RxContext& ctx, const atm::Frame& f) {
+          ctx.charge(120);
+          const nic::MsgHeader in = f.header<nic::MsgHeader>();
+          nic::MsgHeader h;
+          h.type = kPong;
+          h.src_node = n;
+          h.seq = cl.node(n).board().next_seq();
+          h.aux = in.aux + 1;
+          ctx.send(atm::Frame::make(n, in.src_node, 1, h), {});
+        },
+        /*code_bytes=*/2048);
+  }
+  std::vector<std::unique_ptr<sim::SimChannel<atm::Frame>>> inboxes(processors);
+  for (std::uint32_t n = 0; n < processors; ++n) {
+    inboxes[n] = std::make_unique<sim::SimChannel<atm::Frame>>();
+    cl.node(n).board().bind_channel(kPong, inboxes[n].get());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run([&](std::size_t i, sim::SimThread& t) {
+    const auto self = static_cast<std::uint32_t>(i);
+    const std::uint32_t partner = self ^ 1u;
+    for (std::uint32_t k = 0; k < rounds; ++k) {
+      // Deterministic per-(node, round) jitter: decorrelates the round-trip
+      // phases so the fabric sees a steady mixed event stream instead of a
+      // lock-step convoy.
+      cl.node(i).cpu().compute(500 + (self * 2654435761u + k * 40503u) % 4096);
+      cl.node(i).cpu().sync(t);
+      nic::MsgHeader h;
+      h.type = kPing;
+      h.src_node = self;
+      h.seq = cl.node(i).board().next_seq();
+      h.aux = k;
+      cl.node(i).board().send_from_host(t, atm::Frame::make(self, partner, 1, h), {});
+      cl.node(i).board().receive_app(t, *inboxes[i]);
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ModeResult m;
+  m.name = name;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.elapsed_cycles = cl.elapsed_cpu_cycles();
+  m.stats = cl.epoch_stats();
+  return m;
+}
+
+double event_parallelism(const ModeResult& m) {
+  return m.stats.critical_path_events == 0
+             ? 1.0
+             : static_cast<double>(m.stats.events_total) /
+                   static_cast<double>(m.stats.critical_path_events);
+}
+
+struct Point {
+  std::string name;
+  std::vector<std::pair<std::string, std::uint64_t>> config;
+  std::vector<ModeResult> modes;
+
+  /// Sharded runs must agree exactly, whatever K.
+  void check_determinism() const {
+    for (const ModeResult& m : modes) {
+      if (m.name != "legacy") {
+        CNI_CHECK_MSG(m.elapsed_cycles == modes[1].elapsed_cycles,
+                      "sharded runs diverged across K");
+      }
+    }
+  }
+};
+
+void print_json(const std::vector<Point>& points) {
+  std::printf("{\n  \"points\": {\n");
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    const Point& p = points[pi];
+    std::printf("    \"%s\": {\n", p.name.c_str());
+    for (const auto& [key, value] : p.config) {
+      std::printf("      \"%s\": %llu,\n", key.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    std::printf("      \"modes\": {\n");
+    const ModeResult& k1 = p.modes[1];
+    for (std::size_t i = 0; i < p.modes.size(); ++i) {
+      const ModeResult& m = p.modes[i];
+      std::printf(
+          "        \"%s\": {\"wall_ms\": %.2f, \"elapsed_cycles\": %llu, "
+          "\"epochs\": %llu, \"events_total\": %llu, "
+          "\"critical_path_events\": %llu, \"event_parallelism\": %.2f, "
+          "\"wall_speedup_vs_k1\": %.2f}%s\n",
+          m.name.c_str(), m.wall_ms,
+          static_cast<unsigned long long>(m.elapsed_cycles),
+          static_cast<unsigned long long>(m.stats.epochs),
+          static_cast<unsigned long long>(m.stats.events_total),
+          static_cast<unsigned long long>(m.stats.critical_path_events),
+          event_parallelism(m), k1.wall_ms / m.wall_ms,
+          i + 1 < p.modes.size() ? "," : "");
+    }
+    std::printf("      }\n    }%s\n", pi + 1 < points.size() ? "," : "");
+  }
+  std::printf("  }\n}\n");
+}
+
+void print_table(const Point& p) {
+  std::printf("\n%s (", p.name.c_str());
+  for (std::size_t i = 0; i < p.config.size(); ++i) {
+    std::printf("%s%s=%llu", i != 0 ? ", " : "", p.config[i].first.c_str(),
+                static_cast<unsigned long long>(p.config[i].second));
+  }
+  std::printf(")\n%-8s %12s %16s %10s %18s %16s\n", "mode", "wall_ms",
+              "elapsed_cycles", "epochs", "event_parallelism", "wall_vs_k1");
+  const ModeResult& k1 = p.modes[1];
+  for (const ModeResult& m : p.modes) {
+    std::printf("%-8s %12.2f %16llu %10llu %18.2f %16.2f\n", m.name.c_str(),
+                m.wall_ms, static_cast<unsigned long long>(m.elapsed_cycles),
+                static_cast<unsigned long long>(m.stats.epochs),
+                event_parallelism(m), k1.wall_ms / m.wall_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool fast = std::getenv("CNI_BENCH_FAST") != nullptr;
+  std::uint32_t procs_arg = 0;
+  std::uint32_t n_arg = 0;
+  std::uint32_t iters_arg = 0;
+  std::uint32_t rounds_arg = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      procs_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+    }
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 4));
+    }
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+    }
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 9));
+    }
+  }
+
+  // Full-size defaults: pingpong runs long enough (~1s+ per mode) that wall
+  // numbers average over scheduler noise; jacobi needs few iterations — its
+  // event-parallelism is iteration-invariant and its walls are dominated by
+  // per-epoch rendezvous, so more iterations only repeat the same message.
+  const std::uint32_t processors = procs_arg != 0 ? procs_arg : (fast ? 64 : 256);
+  const std::uint32_t rounds = rounds_arg != 0 ? rounds_arg : (fast ? 5 : 200);
+  cni::apps::JacobiConfig cfg;
+  // Several rows per node: the inter-barrier phases (stencil compute plus
+  // the boundary-page fault storm) carry concurrently active nodes; the
+  // per-iteration barrier is inherently serial at node 0.
+  cfg.n = n_arg != 0 ? n_arg : 4 * processors;
+  cfg.iterations = iters_arg != 0 ? iters_arg : (fast ? 3 : 5);
+
+  std::vector<Point> points;
+
+  // All modes of a point share one process, and the first run pays every
+  // first-touch page fault while later runs reuse warm allocator arenas —
+  // tens of seconds of pure memory-system bias at the full jacobi size. One
+  // untimed warm-up run per point pays that cost before anything is timed.
+  Point ping;
+  ping.name = "pingpong";
+  ping.config = {{"processors", processors}, {"rounds", rounds}};
+  run_pingpong_mode("warmup", 1, processors, rounds);
+  for (const auto& [name, shards] :
+       {std::pair<const char*, std::uint32_t>{"legacy", 0}, {"k1", 1}, {"k2", 2}, {"k4", 4}}) {
+    ping.modes.push_back(run_pingpong_mode(name, shards, processors, rounds));
+  }
+  ping.check_determinism();
+  points.push_back(std::move(ping));
+
+  Point jac;
+  jac.name = "jacobi";
+  jac.config = {{"processors", processors}, {"n", cfg.n}, {"iterations", cfg.iterations}};
+  run_jacobi_mode("warmup", 1, processors, cfg);
+  for (const auto& [name, shards] :
+       {std::pair<const char*, std::uint32_t>{"legacy", 0}, {"k1", 1}, {"k2", 2}, {"k4", 4}}) {
+    jac.modes.push_back(run_jacobi_mode(name, shards, processors, cfg));
+  }
+  jac.check_determinism();
+  points.push_back(std::move(jac));
+
+  if (json) {
+    print_json(points);
+  } else {
+    std::printf("micro_parsim: legacy vs sharded event engines, %u processors\n",
+                processors);
+    for (const Point& p : points) print_table(p);
+    std::printf(
+        "\nevent_parallelism = events_total / critical_path_events: the\n"
+        "machine-independent speedup bound an ideal K-core host approaches.\n");
+  }
+  return 0;
+}

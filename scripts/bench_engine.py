@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Regenerates BENCH_engine.json, BENCH_datapath.json and BENCH_obs.json.
+"""Regenerates BENCH_engine.json, BENCH_datapath.json, BENCH_obs.json and
+BENCH_parsim.json.
 
 Usage: scripts/bench_engine.py [build-dir]
 
 Captures the machine-readable throughput numbers the PR/README quote:
 events/sec from micro_engine, lookups/sec from micro_mcache, the
 zero-copy-vs-legacy data-path comparison from micro_datapath (throughput,
-speedup ratios, and the steady-state heap-allocation count), and the
+speedup ratios, and the steady-state heap-allocation count), the
 observability overhead ladder from micro_obs (compiled-out reference vs
-runtime-off residue vs live metrics vs full tracing).
+runtime-off residue vs live metrics vs full tracing), and the sharded-engine
+scaling points from micro_parsim (wall clock plus the machine-independent
+event-parallelism bound per shard count).
+
+Every context block records CNI_BENCH_JOBS / CNI_SIM_SHARDS and the resolved
+sweep worker count so runs taken under different fan-out settings are never
+compared apples-to-oranges.
 """
+import datetime
 import json
+import os
+import platform
 import subprocess
 import sys
 from pathlib import Path
@@ -29,12 +39,34 @@ def run(binary: str) -> dict:
     return json.loads(out)
 
 
+def sweep_jobs() -> int:
+    """Worker count the sweep runner would use — mirrors apps::parallel_indexed."""
+    env = os.environ.get("CNI_BENCH_JOBS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def env_context() -> dict:
+    """Knobs that shape how a run executes, recorded so two BENCH files can be
+    compared apples-to-apples: the sweep fan-out and the in-run shard count."""
+    return {
+        "cni_bench_jobs": os.environ.get("CNI_BENCH_JOBS"),
+        "cni_sim_shards": os.environ.get("CNI_SIM_SHARDS"),
+        "sweep_workers": sweep_jobs(),
+    }
+
+
 def context_of(report: dict) -> dict:
     return {
         "host": report["context"]["host_name"],
         "num_cpus": report["context"]["num_cpus"],
         "mhz_per_cpu": report["context"]["mhz_per_cpu"],
         "date": report["context"]["date"],
+        **env_context(),
     }
 
 
@@ -117,6 +149,32 @@ def write_obs() -> None:
     print(f"wrote {path}")
 
 
+def write_parsim() -> None:
+    # micro_parsim is a plain binary (no google-benchmark), so the context
+    # block is assembled here. It also CNI_CHECKs in-process that every
+    # sharded mode produced the same simulated-cycle count.
+    out = subprocess.run(
+        [str(BUILD / "bench" / "micro_parsim"), "--json"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    report = json.loads(out)
+    result = {
+        "context": {
+            "host": platform.node(),
+            "num_cpus": os.cpu_count(),
+            "date": datetime.datetime.now().astimezone().isoformat(timespec="seconds"),
+            **env_context(),
+        },
+        **report,
+    }
+
+    path = ROOT / "BENCH_parsim.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     engine = run("micro_engine")
     mcache = run("micro_mcache")
@@ -139,6 +197,7 @@ def main() -> None:
 
     write_datapath()
     write_obs()
+    write_parsim()
 
 
 if __name__ == "__main__":

@@ -21,6 +21,13 @@ checks the three that matter most (see DESIGN.md section 9):
   bare-assert     assert() vanishes under NDEBUG, silently downgrading an
                   invariant to undefined behaviour in release sweeps. Use
                   CNI_CHECK (always on) or CNI_DCHECK (debug-only).
+  functionref-param
+                  A `const std::function<...>&` parameter forces every call
+                  site to materialize a heap-backed owning callable even
+                  when the callee only invokes it and never stores it.
+                  Non-owning callable parameters take util::FunctionRef
+                  (two words, no allocation — DESIGN.md §12); keep
+                  std::function for callables that are *stored*.
 
 Plus an include-hygiene pass (--include-hygiene): every header under src/
 must compile on its own, verified by generating a one-line TU per header
@@ -76,6 +83,12 @@ HOT_PATH_PATTERNS = [
 ]
 
 PAYLOAD_COPY_PATTERN = re.compile(r"\bstd\s*::\s*vector\s*<\s*std\s*::\s*byte\s*>")
+
+# A const-ref std::function parameter: greedy `<.*>` spans nested template
+# arguments on the line; the trailing `&` is what distinguishes a borrowed
+# parameter (should be util::FunctionRef) from a stored member or alias.
+FUNCTIONREF_PARAM_PATTERN = re.compile(
+    r"\bconst\s+std\s*::\s*function\s*<.*>\s*&")
 
 BARE_ASSERT_PATTERN = re.compile(r"(?<![\w.:])assert\s*\(")
 
@@ -256,6 +269,11 @@ def lint_file(root, rel, findings):
                 check(lineno, "payload-copy",
                       "std::vector<std::byte> payload copy — hold a "
                       "util::Buf (pooled, refcounted) or a std::span view")
+        if FUNCTIONREF_PARAM_PATTERN.search(line):
+            check(lineno, "functionref-param",
+                  "const std::function<...>& parameter — take "
+                  "util::FunctionRef (non-owning, no allocation) for "
+                  "call-and-forget callables; std::function is for storage")
         if BARE_ASSERT_PATTERN.search(line):
             check(lineno, "bare-assert",
                   "bare assert() compiles out under NDEBUG — use CNI_CHECK "

@@ -19,7 +19,7 @@ std::size_t sweep_jobs() {
   return hc == 0 ? 1 : hc;
 }
 
-void parallel_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void parallel_indexed(std::size_t n, util::FunctionRef<void(std::size_t)> fn) {
   const std::size_t jobs = std::min(sweep_jobs(), n);
   if (jobs <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "cluster/cluster.hpp"
 #include "dsm/context.hpp"
 #include "dsm/system.hpp"
+#include "util/function_ref.hpp"
 
 namespace cni::apps {
 
@@ -25,7 +25,8 @@ namespace cni::apps {
 /// ordering stable by writing results into a preallocated slot per index.
 /// With one job (or n <= 1) everything runs on the calling thread. The first
 /// exception thrown by any index is rethrown after all workers finish.
-void parallel_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+/// The callee outlives every call, so a non-owning FunctionRef suffices.
+void parallel_indexed(std::size_t n, util::FunctionRef<void(std::size_t)> fn);
 
 struct RunResult {
   sim::SimTime elapsed = 0;
@@ -33,6 +34,7 @@ struct RunResult {
   sim::NodeStats totals;             ///< summed over nodes
   obs::Snapshot snapshot;            ///< per-node metrics (+ trace when enabled)
   double hit_ratio_pct = 0;          ///< network cache hit ratio (paper's term)
+  sim::EpochStats parsim;            ///< sharded-mode epoch counts (zeros in legacy mode)
 
   // Per-processor averages in units of 1e9 cycles (the paper's Tables 2-4).
   double compute_e9 = 0;
@@ -63,8 +65,8 @@ struct RunResult {
 /// shared regions and returns the app's shared-address bundle.
 template <typename Shared>
 RunResult run_app(const cluster::SimParams& params,
-                  const std::function<Shared(dsm::DsmSystem&)>& setup,
-                  const std::function<void(dsm::DsmContext&, const Shared&)>& body,
+                  util::FunctionRef<Shared(dsm::DsmSystem&)> setup,
+                  util::FunctionRef<void(dsm::DsmContext&, const Shared&)> body,
                   dsm::DsmParams dsm_params = {}) {
   cluster::Cluster cl(params);
   dsm::DsmSystem dsmsys(cl, dsm_params);
@@ -76,6 +78,7 @@ RunResult run_app(const cluster::SimParams& params,
     body(ctx, shared);
   });
   r.elapsed_cycles = cl.elapsed_cpu_cycles();
+  r.parsim = cl.epoch_stats();
   r.totals = cl.stats().total();
   r.snapshot = cl.snapshot();
   r.hit_ratio_pct = r.totals.tx_hit_ratio_pct();

@@ -1,5 +1,7 @@
 #include "atm/fabric.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace cni::atm {
@@ -19,6 +21,48 @@ void Fabric::attach(NodeId node, DeliveryHook hook) {
   hooks_[node] = std::move(hook);
 }
 
+void Fabric::enable_sharding(std::vector<sim::Engine*> engine_of_node,
+                             std::vector<std::uint32_t> shard_of_node,
+                             std::uint32_t shards) {
+  CNI_CHECK_MSG(!sharded_, "fabric sharding enabled twice");
+  CNI_CHECK_MSG(frames_ == 0, "cannot enable sharding after traffic started");
+  CNI_CHECK(engine_of_node.size() == hooks_.size() &&
+            shard_of_node.size() == hooks_.size() && shards >= 1);
+  sharded_ = true;
+  shards_ = shards;
+  engine_of_node_ = std::move(engine_of_node);
+  shard_of_node_ = std::move(shard_of_node);
+  send_seq_.assign(hooks_.size(), 0);
+  outboxes_.resize(shards_);
+}
+
+sim::SimTime Fabric::route_and_schedule(sim::SimTime head, sim::SimDuration burst,
+                                        Frame frame) {
+  const NodeId dst = frame.dst;
+  // Cut-through: the burst's head crosses the fabric stage by stage, delayed
+  // by contention with earlier bursts sharing an element output.
+  const sim::SimTime head_out = switch_.route(head, frame.src, dst, burst);
+
+  // Downlink occupancy + propagation to the destination NIC. The last bit
+  // arrives when the burst finishes serializing down the link.
+  const sim::SimTime down_done = downlinks_[dst].occupy(head_out, burst);
+  const sim::SimTime arrival = down_done + params_.propagation;
+
+  ++frames_;
+  cells_total_ += geometry_.cells_for(frame.size());
+
+  // The delivery event carries only the hook pointer plus the frame's
+  // flattened Parts (FrameTask): it fits InlineFn's inline buffer and shares
+  // the pooled payload by refcount instead of copying the Frame into a
+  // heap-allocated closure. hooks_ is sized once in the constructor, so the
+  // element address is stable across the event's lifetime.
+  sim::Engine& target = sharded_ ? *engine_of_node_[dst] : engine_;
+  target.schedule_at(
+      arrival, FrameTask([hook = &hooks_[dst]](Frame f) { (*hook)(std::move(f)); },
+                         std::move(frame)));
+  return arrival;
+}
+
 DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
   const NodeId src = frame.src;
   const NodeId dst = frame.dst;
@@ -32,33 +76,55 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
       sim::transmission_time(t.wire_bytes * 8, params_.link_bits_per_sec);
 
   // Uplink: the frame's cells serialize back-to-back once the link frees up
-  // (ServiceQueue::occupy starts the job when the link drains).
+  // (ServiceQueue::occupy starts the job when the link drains). The uplink
+  // is source-local state, so this side runs at send time in both modes.
   const sim::SimTime up_done = uplinks_[src].occupy(ready, serialization);
   const sim::SimTime up_start = up_done - serialization;
   t.first_bit_out = up_start;
+  const sim::SimTime head = up_start + params_.propagation;
 
-  // Cut-through: the head of the burst enters the fabric after propagating
-  // to the switch; the tail follows `serialization` later.
-  const sim::SimTime head_at_switch = up_start + params_.propagation;
-  const sim::SimTime head_out = switch_.route(head_at_switch, src, dst, serialization);
+  if (sharded_) {
+    // The switch and downlink are global resources: defer their traversal to
+    // the epoch barrier, where drain() replays all shards' transfers in the
+    // canonical (head, src, seq) order. Appending here touches only this
+    // shard's outbox, so concurrent sends from different shards never race.
+    WireTransfer w;
+    w.head = head;
+    w.burst = serialization;
+    w.seq = ++send_seq_[src];
+    w.frame = std::move(frame);
+    outboxes_[shard_of_node_[src]].push_back(std::move(w));
+    return t;
+  }
 
-  // Downlink occupancy + propagation to the destination NIC. The last bit
-  // arrives when the burst finishes serializing down the link.
-  const sim::SimTime down_done = downlinks_[dst].occupy(head_out, serialization);
-  t.arrival = down_done + params_.propagation;
-
-  ++frames_;
-  cells_total_ += t.cells;
-
-  // The delivery event carries only the hook pointer plus the frame's
-  // flattened Parts (FrameTask): it fits InlineFn's inline buffer and shares
-  // the pooled payload by refcount instead of copying the Frame into a
-  // heap-allocated closure. hooks_ is sized once in the constructor, so the
-  // element address is stable across the event's lifetime.
-  engine_.schedule_at(
-      t.arrival, FrameTask([hook = &hooks_[dst]](Frame f) { (*hook)(std::move(f)); },
-                           std::move(frame)));
+  t.arrival = route_and_schedule(head, serialization, std::move(frame));
   return t;
+}
+
+sim::SimTime Fabric::drain(sim::SimTime limit) {
+  for (std::vector<WireTransfer>& box : outboxes_) {
+    for (WireTransfer& w : box) pending_.push_back(std::move(w));
+    box.clear();
+  }
+  if (pending_.empty()) return sim::kNever;
+  // (head, src, seq) is a total order over transfers — src+seq alone are
+  // unique — and every key component comes from source-local state, so the
+  // sorted sequence is independent of the shard count and worker timing.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const WireTransfer& a, const WireTransfer& b) {
+              if (a.head != b.head) return a.head < b.head;
+              if (a.frame.src != b.frame.src) return a.frame.src < b.frame.src;
+              return a.seq < b.seq;
+            });
+  std::size_t done = 0;
+  while (done < pending_.size() && pending_[done].head < limit) {
+    WireTransfer& w = pending_[done];
+    route_and_schedule(w.head, w.burst, std::move(w.frame));
+    ++done;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(done));
+  return pending_.empty() ? sim::kNever : pending_.front().head;
 }
 
 }  // namespace cni::atm

@@ -30,9 +30,26 @@ struct FabricParams {
 /// Timing of one frame's journey, returned to the sending NIC.
 struct DeliveryTiming {
   sim::SimTime first_bit_out = 0;  ///< when serialization onto the uplink began
-  sim::SimTime arrival = 0;        ///< when the last bit reaches the dst NIC
+  /// When the last bit reaches the dst NIC. In sharded mode the switch is
+  /// traversed at the next epoch barrier, so `arrival` is 0 (unknown at send
+  /// time); senders only consume the source-side fields, which is what makes
+  /// buffering the traversal legal at all.
+  sim::SimTime arrival = 0;
   std::uint64_t cells = 0;
   std::uint64_t wire_bytes = 0;
+};
+
+/// One cross-shard send, buffered between its uplink serialization (computed
+/// at send time, from source-local state only) and its switch traversal
+/// (performed at the epoch barrier). The canonical drain order is
+/// (head, src, seq) — a total order in which every component is derived from
+/// the source node alone, so it cannot depend on the shard count or on which
+/// worker ran first.
+struct WireTransfer {
+  sim::SimTime head = 0;       ///< first bit reaches the switch input
+  sim::SimDuration burst = 0;  ///< uplink serialization time (resource hold)
+  std::uint64_t seq = 0;       ///< per-source-node send sequence
+  Frame frame;
 };
 
 class Fabric {
@@ -53,14 +70,51 @@ class Fabric {
   void attach(NodeId node, DeliveryHook hook);
 
   /// Sends `frame`, whose serialization onto the uplink may start at `ready`.
-  /// Schedules delivery at the destination and returns the timing.
+  /// Legacy mode: routes through the switch and schedules delivery at the
+  /// destination immediately. Sharded mode: occupies the uplink (source-local
+  /// state) and buffers a WireTransfer into the calling shard's outbox; the
+  /// traversal happens at the next epoch barrier via drain().
   DeliveryTiming send(sim::SimTime ready, Frame frame);
 
+  // ---- Sharded operation (see sim/sharded.hpp, DESIGN.md §12) ----
+
+  /// Minimum cross-node latency the epoch scheduler may exploit: a send
+  /// event at t cannot affect another node before t + min_lookahead().
+  [[nodiscard]] sim::SimDuration min_lookahead() const {
+    return params_.switch_latency + 2 * params_.propagation;
+  }
+  /// A buffered head at H is final once every shard passed H - drain_horizon
+  /// (the uplink adds at least one propagation leg before the switch).
+  [[nodiscard]] sim::SimDuration drain_horizon() const { return params_.propagation; }
+  /// A buffered head at H cannot deliver before H + pending_bound().
+  [[nodiscard]] sim::SimDuration pending_bound() const {
+    return params_.switch_latency + params_.propagation;
+  }
+
+  /// Switches the fabric into sharded mode: node i's deliveries are
+  /// scheduled on engine_of_node[i], and sends from node i buffer into the
+  /// outbox of shard_of_node[i]. Call once, before any traffic.
+  void enable_sharding(std::vector<sim::Engine*> engine_of_node,
+                       std::vector<std::uint32_t> shard_of_node, std::uint32_t shards);
+
+  /// Epoch-barrier drain. Single-threaded (barriers order it against all
+  /// shard execution): merges every shard's outbox, sorts canonically by
+  /// (head, src, seq), and routes each transfer with head < limit through
+  /// the banyan + downlink, scheduling delivery on the destination shard's
+  /// engine. Returns the earliest still-buffered head, or sim::kNever.
+  sim::SimTime drain(sim::SimTime limit);
+
+  [[nodiscard]] bool sharded() const { return sharded_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
   [[nodiscard]] std::uint64_t cells_sent() const { return cells_total_; }
   [[nodiscard]] const BanyanSwitch& fabric_switch() const { return switch_; }
 
  private:
+  /// The switch-to-NIC leg shared by both modes: banyan traversal, downlink
+  /// occupancy, delivery event. Mutates global (cross-node) resources, so in
+  /// sharded mode only drain() may call it.
+  sim::SimTime route_and_schedule(sim::SimTime head, sim::SimDuration burst, Frame frame);
+
   sim::Engine& engine_;
   FabricParams params_;
   CellGeometry geometry_;
@@ -70,6 +124,16 @@ class Fabric {
   std::vector<DeliveryHook> hooks_;
   std::uint64_t frames_ = 0;
   std::uint64_t cells_total_ = 0;
+  // Sharded mode. Each outbox is appended to only by its own shard's worker
+  // during an epoch and consumed only by drain() at the barrier; the epoch
+  // barrier's acquire/release pair is the happens-before between the two.
+  bool sharded_ = false;
+  std::uint32_t shards_ = 1;
+  std::vector<sim::Engine*> engine_of_node_;
+  std::vector<std::uint32_t> shard_of_node_;
+  std::vector<std::uint64_t> send_seq_;            // per source node
+  std::vector<std::vector<WireTransfer>> outboxes_;  // per source shard
+  std::vector<WireTransfer> pending_;              // merged, awaiting finality
 };
 
 }  // namespace cni::atm

@@ -17,7 +17,8 @@ std::uint64_t engine_now(void* ctx) { return static_cast<sim::Engine*>(ctx)->now
 
 Node::Node(sim::Engine& engine, atm::Fabric& fabric, const SimParams& params,
            atm::NodeId id, sim::NodeStats& stats, obs::NodeObs* obs)
-    : id_(id),
+    : engine_(engine),
+      id_(id),
       bus_(engine, params.bus),
       page_table_(mem::PageGeometry(params.page_size)),
       cpu_(params.cpu_freq_hz, params.cache, bus_, page_table_, stats),
@@ -47,31 +48,70 @@ Cluster::Cluster(const SimParams& params)
   CNI_CHECK_MSG(params.processors >= 1, "a cluster needs at least one node");
   CNI_CHECK_MSG(params.processors <= params.fabric.switch_ports,
                 "more nodes than switch ports");
+  if (params.sim_shards > 0) {
+    // Parallel-in-run mode (DESIGN.md §12): contiguous node blocks per shard,
+    // one private engine each. The fabric learns the mapping so deliveries
+    // land on the destination node's shard and sends buffer per source shard.
+    plan_ = sim::ShardPlan::balanced(params.processors, params.sim_shards);
+    shard_engines_.reserve(plan_.shards);
+    for (std::uint32_t s = 0; s < plan_.shards; ++s) {
+      shard_engines_.push_back(std::make_unique<sim::Engine>());
+    }
+    std::vector<sim::Engine*> engine_of_node(params.fabric.switch_ports, nullptr);
+    std::vector<std::uint32_t> shard_of_node(params.fabric.switch_ports, 0);
+    for (std::uint32_t i = 0; i < params.processors; ++i) {
+      shard_of_node[i] = plan_.shard_of(i);
+      engine_of_node[i] = shard_engines_[shard_of_node[i]].get();
+    }
+    fabric_.enable_sharding(std::move(engine_of_node), std::move(shard_of_node),
+                            plan_.shards);
+  }
   for (std::uint32_t i = 0; i < params.processors; ++i) {
     obs_.bind_node_stats(i, stats_.node(i));
-    nodes_.push_back(std::make_unique<Node>(engine_, fabric_, params_, i,
+    sim::Engine& node_engine =
+        sharded() ? *shard_engines_[plan_.shard_of(i)] : engine_;
+    nodes_.push_back(std::make_unique<Node>(node_engine, fabric_, params_, i,
                                             stats_.node(i), &obs_.node(i)));
   }
 }
 
-sim::SimTime Cluster::run(
-    const std::function<void(std::size_t, sim::SimThread&)>& body) {
+sim::SimTime Cluster::run(util::FunctionRef<void(std::size_t, sim::SimThread&)> body) {
   // Every log line emitted while the engine runs carries its simulated time.
   // Thread-local install: parallel sweep jobs each stamp with their own
-  // engine's clock.
-  const util::ScopedLogTime log_time(&engine_now, &engine_);
+  // engine's clock; in sharded mode the coordinator runs shard 0 inline and
+  // each worker thread installs its own shard's hook.
+  const util::ScopedLogTime log_time(
+      &engine_now, sharded() ? static_cast<void*>(shard_engines_.front().get())
+                             : static_cast<void*>(&engine_));
   std::vector<std::unique_ptr<sim::SimThread>> threads;
   std::vector<sim::SimTime> finish(nodes_.size(), 0);
   threads.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     threads.push_back(std::make_unique<sim::SimThread>(
-        engine_, "node" + std::to_string(i), [this, &body, &finish, i](sim::SimThread& t) {
+        node(i).engine(), "node" + std::to_string(i),
+        [this, body, &finish, i](sim::SimThread& t) {
           body(i, t);
           node(i).cpu().sync(t);  // settle any trailing local charge
-          finish[i] = engine_.now();
+          finish[i] = node(i).engine().now();
         }));
   }
-  engine_.run();
+  if (sharded()) {
+    epoch_stats_ = sim::EpochStats{};
+    std::vector<sim::Engine*> engines;
+    engines.reserve(shard_engines_.size());
+    for (const std::unique_ptr<sim::Engine>& e : shard_engines_) {
+      engines.push_back(e.get());
+    }
+    sim::EpochParams ep;
+    ep.lookahead = fabric_.min_lookahead();
+    ep.drain_horizon = fabric_.drain_horizon();
+    ep.pending_bound = fabric_.pending_bound();
+    sim::run_epochs(engines, ep,
+                    [this](sim::SimTime limit) { return fabric_.drain(limit); },
+                    &epoch_stats_);
+  } else {
+    engine_.run();
+  }
 
   for (std::size_t i = 0; i < threads.size(); ++i) {
     if (!threads[i]->finished()) {
@@ -135,13 +175,19 @@ obs::Snapshot Cluster::snapshot() const {
     }
     snap.nodes.push_back(std::move(node));
   }
-  const util::BufPool::Stats bp = util::BufPool::local().stats();
-  snap.bufpool.sampled = true;
-  snap.bufpool.hits = bp.hits;
-  snap.bufpool.misses = bp.misses;
-  snap.bufpool.refurbished = bp.refurbished;
-  snap.bufpool.remote_frees = bp.remote_frees;
-  snap.bufpool.outstanding = bp.outstanding;
+  if (!sharded()) {
+    // Advisory allocator telemetry. In sharded mode the pool's thread-local
+    // caches are spread over the worker threads, so the coordinator's local()
+    // view depends on the shard count and worker scheduling; omit it to keep
+    // run reports byte-identical for every K.
+    const util::BufPool::Stats bp = util::BufPool::local().stats();
+    snap.bufpool.sampled = true;
+    snap.bufpool.hits = bp.hits;
+    snap.bufpool.misses = bp.misses;
+    snap.bufpool.refurbished = bp.refurbished;
+    snap.bufpool.remote_frees = bp.remote_frees;
+    snap.bufpool.outstanding = bp.outstanding;
+  }
   return snap;
 }
 

@@ -6,7 +6,6 @@
 // computation/overhead/delay accounts.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,7 +17,9 @@
 #include "obs/obs.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded.hpp"
 #include "sim/stats.hpp"
+#include "util/function_ref.hpp"
 
 namespace cni::cluster {
 
@@ -32,10 +33,17 @@ class Node {
   [[nodiscard]] HostCpu& cpu() { return cpu_; }
   [[nodiscard]] nic::NicBoard& board() { return *board_; }
 
+  /// The engine this node's events run on: the cluster engine in legacy
+  /// mode, the owning shard's engine in sharded mode. Node-local scheduling
+  /// (board dispatch, DSM handlers) must go through this, never through a
+  /// cluster-global engine.
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
   /// The board as a CniBoard; check-fails on a standard-NIC cluster.
   [[nodiscard]] core::CniBoard& cni();
 
  private:
+  sim::Engine& engine_;
   atm::NodeId id_;
   mem::MemoryBus bus_;
   mem::PageTable page_table_;
@@ -49,12 +57,23 @@ class Cluster {
   explicit Cluster(const SimParams& params);
 
   [[nodiscard]] const SimParams& params() const { return params_; }
+  /// The legacy single-engine heap. Valid only when !sharded(); sharded
+  /// callers must go through Node::engine() (per-shard heaps).
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] atm::Fabric& fabric() { return fabric_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
   [[nodiscard]] obs::RunObs& obs() { return obs_; }
+
+  /// Parallel-in-run mode (SimParams::sim_shards >= 1)?
+  [[nodiscard]] bool sharded() const { return !shard_engines_.empty(); }
+  /// Effective shard count: 1 in legacy mode.
+  [[nodiscard]] std::uint32_t shards() const {
+    return sharded() ? plan_.shards : 1;
+  }
+  /// Epoch/event counts of the last sharded run (zeros in legacy mode).
+  [[nodiscard]] const sim::EpochStats& epoch_stats() const { return epoch_stats_; }
 
   /// Materializes every bound counter, histogram, gauge and (when tracing)
   /// the trace rings into a Snapshot that outlives the cluster.
@@ -64,7 +83,7 @@ class Cluster {
   /// simulated time) and returns the simulated duration of the whole run.
   /// Afterwards each node's synch_delay account holds the residual
   /// elapsed - compute - overhead. Throws on deadlock.
-  sim::SimTime run(const std::function<void(std::size_t, sim::SimThread&)>& body);
+  sim::SimTime run(util::FunctionRef<void(std::size_t, sim::SimThread&)> body);
 
   /// Elapsed time of the last run, in host CPU cycles.
   [[nodiscard]] std::uint64_t elapsed_cpu_cycles() const;
@@ -75,6 +94,11 @@ class Cluster {
   atm::Fabric fabric_;
   sim::StatsRegistry stats_;
   obs::RunObs obs_;  // before nodes_: boards grab their NodeObs at construction
+  // Sharded mode: shard s's nodes schedule on shard_engines_[s]; engine_
+  // stays idle. Constructed before nodes_ so Node can bind its engine ref.
+  sim::ShardPlan plan_;
+  std::vector<std::unique_ptr<sim::Engine>> shard_engines_;
+  sim::EpochStats epoch_stats_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::SimTime elapsed_ = 0;
 };

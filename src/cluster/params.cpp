@@ -1,8 +1,19 @@
 #include "cluster/params.hpp"
 
+#include <cstdlib>
+
 #include "sim/time.hpp"
 
 namespace cni::cluster {
+
+std::uint32_t default_sim_shards() {
+  if (const char* env = std::getenv("CNI_SIM_SHARDS"); env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) return static_cast<std::uint32_t>(v);
+  }
+  return 0;
+}
 
 util::Table SimParams::to_table() const {
   util::Table t("Table 1: Simulation Parameters");

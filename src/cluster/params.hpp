@@ -18,11 +18,23 @@ enum class BoardKind {
   kStandard,  ///< baseline: no ADC, no Message Cache, no AIH
 };
 
+/// Process-default shard count for parallel-in-run simulation: CNI_SIM_SHARDS
+/// if set and >= 0, else 0 (legacy single-engine mode). Read once per call so
+/// every cluster in a sweep sees one consistent setting.
+[[nodiscard]] std::uint32_t default_sim_shards();
+
 struct SimParams {
   std::uint64_t cpu_freq_hz = 166'000'000;  ///< Table 1: 166 MHz Alpha
   std::uint64_t page_size = 4096;           ///< host + DSM + Message Cache buffer page
   std::uint32_t processors = 8;
   BoardKind board = BoardKind::kCni;
+  /// Parallel-in-run simulation (DESIGN.md §12): 0 = legacy single-engine
+  /// mode, K >= 1 = conservative sharded mode with K engine shards (clamped
+  /// to the processor count). Results in sharded mode are bit-identical for
+  /// every K; they may differ from legacy mode in the last digits, because
+  /// the sharded fabric resolves switch contention in head-arrival order
+  /// rather than send-call order. Defaults from CNI_SIM_SHARDS.
+  std::uint32_t sim_shards = default_sim_shards();
 
   mem::CacheParams cache;     ///< 32 KB L1 / 1 MB L2, direct-mapped write-back
   mem::BusParams bus;         ///< 25 MHz, 4-cycle acquisition, 2 cycles/word

@@ -169,7 +169,7 @@ void DsmRuntime::fault(PageId p, bool write) {
   // Fault window: trap taken (local charge settled) -> page data usable.
   // Both endpoints are simulated instants, so the latency histogram is as
   // deterministic as the run itself.
-  const sim::SimTime trap_at = sys_.cluster().engine().now();
+  const sim::SimTime trap_at = node_.engine().now();
   auto& st = cpu.stats();
   if (write) {
     ++st.write_faults;
@@ -180,7 +180,7 @@ void DsmRuntime::fault(PageId p, bool write) {
   PageEntry& e = entry(p);
   if (!e.readable()) fetch_page_data(e, p);
   if (write && !e.writable()) write_upgrade(e, p);
-  [[maybe_unused]] const sim::SimTime usable_at = sys_.cluster().engine().now();
+  [[maybe_unused]] const sim::SimTime usable_at = node_.engine().now();
   CNI_OBS_HIST(fault_hist_, usable_at - trap_at);
   CNI_TRACE_SPAN(obs_, trap_at, usable_at, obs::Component::kDsm, obs::Event::kDsmFault,
                  p, write ? 1 : 0);
@@ -556,7 +556,7 @@ void DsmRuntime::on_lock_grant(Ctx& ctx, const atm::Frame& f) {
              count * sys_.params().handler_per_interval_cycles +
              notices * sys_.params().handler_per_notice_cycles);
   CNI_LOG_DEBUG("n%u lock_grant arrives ivs=%u", self_, count);
-  sys_.cluster().engine().schedule_at(
+  node_.engine().schedule_at(
       ctx.cursor(), [this, ivs = std::move(ivs), releaser_vc = std::move(releaser_vc)] {
         for (const Interval& iv : ivs) process_incoming_interval(iv);
         vc_.merge(releaser_vc);
@@ -666,7 +666,7 @@ void DsmRuntime::on_bar_release(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              count * sys_.params().handler_per_interval_cycles +
              notices * sys_.params().handler_per_notice_cycles);
-  sys_.cluster().engine().schedule_at(
+  node_.engine().schedule_at(
       ctx.cursor(), [this, ivs = std::move(ivs), global = std::move(global)] {
         for (const Interval& iv : ivs) process_incoming_interval(iv);
         vc_.merge(global);
@@ -719,7 +719,7 @@ void DsmRuntime::on_page_reply(Ctx& ctx, const atm::Frame& f) {
   ctx.transfer_to_host(va_of_page(page), data.size());
   CNI_TRACE_INSTANT(obs_, ctx.cursor(), obs::Component::kDsm,
                     obs::Event::kDsmPageArrival, page, data.size());
-  sys_.cluster().engine().schedule_at(
+  node_.engine().schedule_at(
       ctx.cursor(),
       [this, data, keep = r.backing(), content = std::move(content)]() mutable {
         fetch_.base = data;
@@ -791,7 +791,7 @@ void DsmRuntime::on_diff_reply(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              words * sys_.params().diff_word_cycles);
   ctx.transfer_to_host(va_of_page(page), std::max<std::uint64_t>(words * 8, 8));
-  sys_.cluster().engine().schedule_at(ctx.cursor(), [this, ds = std::move(ds)]() mutable {
+  node_.engine().schedule_at(ctx.cursor(), [this, ds = std::move(ds)]() mutable {
     for (Diff& d : ds) fetch_.diffs.push_back(std::move(d));
     ++fetch_.diffs_got;
     if (fetch_.base_done == fetch_.want_base && fetch_.diffs_got == fetch_.diffs_wanted) {

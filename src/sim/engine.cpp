@@ -152,4 +152,10 @@ void Engine::run_until(SimTime deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
+void Engine::run_before(SimTime bound) {
+  while (!empty() && heap_t_[kRoot] < bound) {
+    step();
+  }
+}
+
 }  // namespace cni::sim

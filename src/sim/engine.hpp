@@ -84,6 +84,19 @@ class Engine {
   /// Runs events with time <= deadline; events beyond it stay queued.
   void run_until(SimTime deadline);
 
+  /// Runs events with time strictly < bound; events at or beyond it stay
+  /// queued and now() is left at the last executed event. This is the
+  /// sharded-mode epoch primitive: an epoch [E, E') executes exactly the
+  /// events below E', and deliveries drained at the E' barrier may still be
+  /// scheduled at any t >= E' without tripping the past-scheduling check.
+  void run_before(SimTime bound);
+
+  /// Time of the earliest pending event, or kNever when the queue is empty.
+  /// The epoch scheduler peeks this to size the next lookahead window.
+  [[nodiscard]] SimTime next_time() const {
+    return empty() ? kNever : heap_t_[kRoot];
+  }
+
   /// Executes the single next event. Returns false if the queue was empty.
   bool step();
 

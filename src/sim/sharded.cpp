@@ -1,0 +1,226 @@
+#include "sim/sharded.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace cni::sim {
+
+ShardPlan ShardPlan::balanced(std::uint32_t nodes, std::uint32_t shards) {
+  ShardPlan p;
+  p.nodes = nodes;
+  const std::uint32_t cap = nodes == 0 ? 1 : nodes;
+  p.shards = shards < 1 ? 1 : (shards > cap ? cap : shards);
+  return p;
+}
+
+std::uint32_t ShardPlan::shard_of(std::uint32_t node) const {
+  CNI_DCHECK(node < nodes);
+  const std::uint32_t base = nodes / shards;
+  const std::uint32_t rem = nodes % shards;
+  const std::uint32_t cut = (base + 1) * rem;  // nodes below cut sit in big shards
+  if (node < cut) return node / (base + 1);
+  return rem + (node - cut) / base;
+}
+
+std::uint32_t ShardPlan::count(std::uint32_t shard) const {
+  CNI_DCHECK(shard < shards);
+  return nodes / shards + (shard < nodes % shards ? 1 : 0);
+}
+
+namespace {
+
+/// Logger time hook for worker threads: stamps with the shard's clock.
+std::uint64_t shard_now(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
+
+/// Coordinator/worker rendezvous for the epoch loop. The coordinator
+/// publishes the next window bound and bumps the generation (release);
+/// workers wake on the generation (acquire), run their shard, and count in
+/// (release); the coordinator waits until all counted in (acquire). Those
+/// two edges are the happens-before that makes every piece of per-epoch
+/// state — fabric outboxes, engine heaps, pooled frame buffers crossing
+/// shards — race-free without any per-object locking.
+///
+/// Epochs in which no shard but 0 has work below the bound skip the
+/// rendezvous entirely: the coordinator runs shard 0 inline while the
+/// workers stay parked in atomic::wait. Serialized phases of a workload
+/// (e.g. a DSM barrier draining through one node) therefore cost the same
+/// as the K = 1 inline path instead of K - 1 futex round-trips per window.
+/// Reading a parked shard's engine is safe: its worker is quiescent and the
+/// last rendezvous (or thread creation) ordered its writes before ours.
+class EpochCrew {
+ public:
+  EpochCrew(std::span<Engine* const> engines, EpochStats* stats)
+      : engines_(engines),
+        prev_events_(engines.size(), 0),
+        errors_(engines.size()),
+        stats_(stats) {
+    threads_.reserve(engines.size() - 1);
+    for (std::size_t s = 1; s < engines.size(); ++s) {
+      threads_.emplace_back([this, s] { worker(s); });
+    }
+  }
+
+  ~EpochCrew() {
+    stop_.store(true, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Runs one epoch on every shard that has work (shard 0 inline) and
+  /// barriers. Returns false when any shard raised; the run must then stop.
+  bool run_epoch(SimTime bound) {
+    bool remote_work = false;
+    for (std::size_t s = 1; s < engines_.size(); ++s) {
+      if (engines_[s]->next_time() < bound) {
+        remote_work = true;
+        break;
+      }
+    }
+    if (remote_work) {
+      bound_.store(bound, std::memory_order_relaxed);
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_release);
+      gen_.notify_all();
+      run_shard(0, bound);
+      const auto target = static_cast<std::uint32_t>(engines_.size() - 1);
+      for (std::uint32_t spins = 0;; ++spins) {
+        const std::uint32_t got = arrived_.load(std::memory_order_acquire);
+        if (got == target) break;
+        if (spins > 1024) arrived_.wait(got, std::memory_order_acquire);
+      }
+    } else {
+      run_shard(0, bound);
+    }
+    account_epoch();
+    for (const std::exception_ptr& e : errors_) {
+      if (e != nullptr) return false;
+    }
+    return true;
+  }
+
+  /// First error in shard order — deterministic regardless of which worker
+  /// hit its exception first on the wall clock.
+  [[nodiscard]] std::exception_ptr first_error() const {
+    for (const std::exception_ptr& e : errors_) {
+      if (e != nullptr) return e;
+    }
+    return nullptr;
+  }
+
+ private:
+  void worker(std::size_t shard) {
+    const util::ScopedLogTime log_time(&shard_now, engines_[shard]);
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint32_t spins = 0;
+      std::uint64_t g;
+      while ((g = gen_.load(std::memory_order_acquire)) == seen) {
+        if (++spins > 1024) gen_.wait(seen, std::memory_order_acquire);
+      }
+      seen = g;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      run_shard(shard, bound_.load(std::memory_order_relaxed));
+      arrived_.fetch_add(1, std::memory_order_release);
+      arrived_.notify_one();
+    }
+  }
+
+  void run_shard(std::size_t shard, SimTime bound) {
+    if (errors_[shard] != nullptr) return;  // poisoned: idle until shutdown
+    try {
+      engines_[shard]->run_before(bound);
+    } catch (...) {
+      errors_[shard] = std::current_exception();
+    }
+  }
+
+  /// Coordinator-side: every engine is quiescent at the barrier, so the
+  /// per-epoch deltas (and the busiest shard) are computed race-free here.
+  void account_epoch() {
+    if (stats_ == nullptr) return;
+    ++stats_->epochs;
+    std::uint64_t busiest = 0;
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      const std::uint64_t total = engines_[s]->events_executed();
+      const std::uint64_t n = total - prev_events_[s];
+      prev_events_[s] = total;
+      stats_->events_total += n;
+      busiest = n > busiest ? n : busiest;
+    }
+    stats_->critical_path_events += busiest;
+  }
+
+  std::span<Engine* const> engines_;
+  std::vector<std::uint64_t> prev_events_;  // coordinator-only, see account_epoch
+  std::vector<std::exception_ptr> errors_;
+  EpochStats* stats_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<SimTime> bound_{0};
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+/// K = 1 degenerates to the same epoch/drain algorithm with no threads, no
+/// atomics and no barrier cost — the canonical schedule is identical, only
+/// the execution is inline. This is what keeps single-shard runs within
+/// noise of the legacy sequential engine.
+void run_epochs_inline(Engine& engine, const EpochParams& params,
+                       util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
+  SimTime epoch_end = 0;
+  for (;;) {
+    const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
+    const SimTime t_min = engine.next_time();
+    if (t_min == kNever && pending_min == kNever) return;
+    const SimTime next = next_epoch_end(t_min, pending_min, params);
+    CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
+    const std::uint64_t before = engine.events_executed();
+    engine.run_before(next);
+    if (stats != nullptr) {
+      const std::uint64_t n = engine.events_executed() - before;
+      ++stats->epochs;
+      stats->events_total += n;
+      stats->critical_path_events += n;
+    }
+    epoch_end = next;
+  }
+}
+
+}  // namespace
+
+void run_epochs(std::span<Engine* const> engines, const EpochParams& params,
+                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
+  CNI_CHECK_MSG(!engines.empty(), "run_epochs needs at least one shard");
+  CNI_CHECK_MSG(params.lookahead > 0 && params.drain_horizon > 0 && params.pending_bound > 0,
+                "epoch margins must be positive for the scheduler to advance");
+  if (engines.size() == 1) {
+    run_epochs_inline(*engines[0], params, drain, stats);
+    return;
+  }
+  EpochCrew crew(engines, stats);
+  SimTime epoch_end = 0;
+  for (;;) {
+    const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
+    SimTime t_min = kNever;
+    for (Engine* const e : engines) {
+      const SimTime t = e->next_time();
+      t_min = t < t_min ? t : t_min;
+    }
+    if (t_min == kNever && pending_min == kNever) return;
+    const SimTime next = next_epoch_end(t_min, pending_min, params);
+    CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
+    if (!crew.run_epoch(next)) break;
+    epoch_end = next;
+  }
+  std::exception_ptr err = crew.first_error();
+  CNI_DCHECK(err != nullptr);
+  std::rethrow_exception(err);
+}
+
+}  // namespace cni::sim

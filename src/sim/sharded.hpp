@@ -1,0 +1,99 @@
+// Conservative parallel-in-run simulation: lookahead-sharded event engines.
+//
+// The cluster's nodes are partitioned into K shards, each owning a private
+// sim::Engine, advanced in lock-step *epochs*. The fabric's fixed minimum
+// cross-node latency (switch pipeline + two propagation legs) is a guaranteed
+// lookahead window L: an event executed at time t cannot make anything happen
+// on another shard before t + L, so every shard may run the events of
+// [E, E + L) without hearing from its peers — Chandy–Misra conservatism with
+// a global window instead of per-link null messages.
+//
+// Cross-shard frame transfers are buffered during an epoch and drained at the
+// barrier in one canonical order — (head-at-switch time, source node, per-
+// source send sequence), every component derived from source-local state — so
+// the merged event order, and therefore every figure number, trace export and
+// metrics report, is bit-identical for every K and thread schedule. The
+// determinism argument is spelled out in DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/function_ref.hpp"
+
+namespace cni::sim {
+
+/// Contiguous-block assignment of `nodes` simulated nodes to `shards`
+/// engines. Blocks (not round-robin) keep DSM neighbours — which exchange
+/// the most frames — inside one shard where their traffic needs no barrier.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  std::uint32_t nodes = 0;
+
+  /// Clamps the requested shard count into [1, nodes].
+  [[nodiscard]] static ShardPlan balanced(std::uint32_t nodes, std::uint32_t shards);
+
+  /// Which shard owns `node`: the first (nodes % shards) shards take one
+  /// extra node each, so block sizes differ by at most one.
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t node) const;
+
+  /// Number of nodes in `shard`.
+  [[nodiscard]] std::uint32_t count(std::uint32_t shard) const;
+};
+
+/// Epoch geometry, derived from the interconnect timing (atm::Fabric exports
+/// these; see Fabric::min_lookahead).
+struct EpochParams {
+  /// L: minimum latency from a send event to any cross-shard effect.
+  SimDuration lookahead = 0;
+  /// A transfer buffered with head-at-switch time H is *final* — no later
+  /// send can precede it — once every shard passed H - drain_horizon.
+  SimDuration drain_horizon = 0;
+  /// A buffered head at H cannot deliver before H + pending_bound.
+  SimDuration pending_bound = 0;
+};
+
+/// Deterministic run statistics (no wall clocks: epoch and event counts are
+/// properties of the simulation and the shard plan, not of the host).
+struct EpochStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t events_total = 0;  ///< summed over shards; K-independent
+  /// Sum over epochs of the busiest shard's event count: the length of the
+  /// critical path an ideal K-way parallel execution cannot beat. The ratio
+  /// events_total / critical_path_events is the run's event-parallelism.
+  std::uint64_t critical_path_events = 0;
+};
+
+/// a + b, saturating at kNever (so "no pending work" windows stay kNever).
+[[nodiscard]] constexpr SimTime sat_add(SimTime a, SimDuration b) {
+  return a > kNever - b ? kNever : a + b;
+}
+
+/// Pure epoch math: the end of the next window given the earliest pending
+/// event across all shards (t_min), the earliest still-buffered transfer head
+/// (pending_min, kNever when none) and the fabric-derived margins. Every
+/// input is K-independent, so the epoch schedule is too.
+[[nodiscard]] constexpr SimTime next_epoch_end(SimTime t_min, SimTime pending_min,
+                                               const EpochParams& p) {
+  const SimTime by_events = sat_add(t_min, p.lookahead);
+  const SimTime by_pending = sat_add(pending_min, p.pending_bound);
+  return by_events < by_pending ? by_events : by_pending;
+}
+
+/// Runs the shard engines in lookahead epochs until every heap is empty and
+/// no transfer remains buffered. `drain` is called at each barrier (on the
+/// coordinating thread, never concurrently with shard execution) with the
+/// finality limit E + drain_horizon; it must route every buffered transfer
+/// whose head lies below the limit into the destination engines, in canonical
+/// order, and return the earliest remaining head (kNever when none).
+///
+/// One shard runs inline on the calling thread; shards 1..K-1 run on worker
+/// threads that live for the whole call. Exceptions thrown inside a shard
+/// (e.g. a failed CNI_CHECK in a fiber) stop the run at the next barrier and
+/// the lowest-shard exception is rethrown on the calling thread.
+void run_epochs(std::span<Engine* const> engines, const EpochParams& params,
+                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats = nullptr);
+
+}  // namespace cni::sim

@@ -1,0 +1,59 @@
+// Non-owning callable reference.
+//
+// A FunctionRef<R(Args...)> is two words: a pointer to the callee and a
+// pointer to a stateless thunk that invokes it. Passing one costs nothing —
+// no heap allocation, no copy of the capture state — which makes it the
+// right parameter type for call-synchronous callbacks: the callee is invoked
+// before the call returns, so borrowing the caller's closure is always safe.
+// (For *stored* callbacks, which must own their state, use sim::InlineFn or
+// std::function instead; a dangling FunctionRef is a use-after-free.)
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace cni::util {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable. Intentionally implicit so call sites keep passing
+  /// lambdas exactly as they would to a const std::function&.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Fn>) {
+      // A plain function: object pointers can't hold a function pointer via
+      // static_cast, so round-trip through reinterpret_cast (conditionally
+      // supported, universal on the platforms we build for).
+      obj_ = reinterpret_cast<void*>(std::addressof(f));
+      call_ = [](void* obj, Args... args) -> R {
+        return static_cast<R>(
+            (*reinterpret_cast<Fn*>(obj))(std::forward<Args>(args)...));
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* obj, Args... args) -> R {
+        return static_cast<R>(
+            (*static_cast<Fn*>(obj))(std::forward<Args>(args)...));
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace cni::util

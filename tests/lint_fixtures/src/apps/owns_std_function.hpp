@@ -1,0 +1,13 @@
+// Fixture: storing a std::function is the legitimate use of the type — the
+// functionref-param rule must stay quiet for owning members and aliases
+// (and src/apps is outside the hot-path dirs, so hot-path-alloc is quiet
+// too). This file must lint clean.
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+struct DeferredJob {
+  std::function<void()> body;  // owned: outlives the registration call
+};
+}  // namespace fixture

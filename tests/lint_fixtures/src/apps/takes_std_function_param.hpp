@@ -1,0 +1,13 @@
+// Fixture: a const std::function& parameter makes every caller materialize
+// an owning heap callable the callee never keeps — borrowed callables take
+// util::FunctionRef instead.
+// lint-expect: functionref-param
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+inline void for_each_node(int n, const std::function<void(int)>& fn) {
+  for (int i = 0; i < n; ++i) fn(i);
+}
+}  // namespace fixture

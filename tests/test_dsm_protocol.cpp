@@ -5,6 +5,8 @@
 // memory-model semantics and the protocol bookkeeping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/runner.hpp"
 #include "dsm/context.hpp"
 #include "dsm/system.hpp"
@@ -165,16 +167,19 @@ TEST(DsmProtocol, LocksAreMutuallyExclusive) {
 
 TEST(DsmProtocol, BarrierHoldsEveryoneBack) {
   Fixture f(3);
-  sim::SimTime slowest_arrival = 0;
+  // Per-node slots, reduced after the run: node bodies may execute on
+  // different shard threads (CNI_SIM_SHARDS), so they must not fold into a
+  // shared accumulator mid-run.
+  std::vector<sim::SimTime> arrivals(3);
   std::vector<sim::SimTime> departures(3);
   f.run([&](DsmContext& ctx) {
     ctx.compute(ctx.self() * 1'000'000);  // staggered arrivals
     ctx.thread().delay(1);                // flush local clock
-    const sim::SimTime arrive = ctx.thread().engine().now();
-    slowest_arrival = std::max(slowest_arrival, arrive);
+    arrivals[ctx.self()] = ctx.thread().engine().now();
     ctx.barrier();
     departures[ctx.self()] = ctx.thread().engine().now();
   });
+  const sim::SimTime slowest_arrival = *std::max_element(arrivals.begin(), arrivals.end());
   for (const sim::SimTime d : departures) EXPECT_GE(d, slowest_arrival);
 }
 

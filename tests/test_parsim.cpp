@@ -1,0 +1,293 @@
+// Parallel-in-run simulation (DESIGN.md §12): shard-plan and epoch math,
+// canonical cross-shard drain ordering, and the headline property — the same
+// seed produces byte-identical results at every shard count, sequentially
+// and under a concurrent sweep pool.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/runner.hpp"
+#include "atm/fabric.hpp"
+#include "cluster/cluster.hpp"
+#include "obs/report.hpp"
+#include "sim/sharded.hpp"
+
+namespace cni {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+
+TEST(ShardPlan, BalancedClampsIntoNodeRange) {
+  EXPECT_EQ(sim::ShardPlan::balanced(8, 0).shards, 1u);
+  EXPECT_EQ(sim::ShardPlan::balanced(8, 3).shards, 3u);
+  EXPECT_EQ(sim::ShardPlan::balanced(4, 64).shards, 4u);  // never > nodes
+  EXPECT_EQ(sim::ShardPlan::balanced(1, 4).shards, 1u);
+}
+
+TEST(ShardPlan, BlocksAreContiguousBalancedAndExhaustive) {
+  for (std::uint32_t nodes : {1u, 2u, 5u, 8u, 17u, 32u, 256u}) {
+    for (std::uint32_t shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      const sim::ShardPlan plan = sim::ShardPlan::balanced(nodes, shards);
+      std::uint32_t total = 0;
+      std::uint32_t prev = 0;
+      for (std::uint32_t n = 0; n < nodes; ++n) {
+        const std::uint32_t s = plan.shard_of(n);
+        ASSERT_LT(s, plan.shards);
+        ASSERT_GE(s, prev) << "blocks must be contiguous and ordered";
+        prev = s;
+      }
+      std::uint32_t max_count = 0;
+      std::uint32_t min_count = nodes;
+      for (std::uint32_t s = 0; s < plan.shards; ++s) {
+        const std::uint32_t c = plan.count(s);
+        total += c;
+        max_count = std::max(max_count, c);
+        min_count = std::min(min_count, c);
+        // count() must agree with shard_of().
+        std::uint32_t seen = 0;
+        for (std::uint32_t n = 0; n < nodes; ++n) {
+          if (plan.shard_of(n) == s) ++seen;
+        }
+        ASSERT_EQ(seen, c);
+      }
+      EXPECT_EQ(total, nodes);
+      EXPECT_LE(max_count - min_count, 1u) << "block sizes differ by at most one";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch math
+
+TEST(EpochMath, SatAddSaturatesAtNever) {
+  EXPECT_EQ(sim::sat_add(10, 5), 15u);
+  EXPECT_EQ(sim::sat_add(sim::kNever, 1), sim::kNever);
+  EXPECT_EQ(sim::sat_add(sim::kNever - 3, 10), sim::kNever);
+  EXPECT_EQ(sim::sat_add(sim::kNever - 3, 3), sim::kNever);
+}
+
+TEST(EpochMath, NextEpochEndTakesTheTighterBound) {
+  sim::EpochParams p;
+  p.lookahead = 800;
+  p.drain_horizon = 150;
+  p.pending_bound = 650;
+  // No pending transfers: the window is t_min + L.
+  EXPECT_EQ(sim::next_epoch_end(1000, sim::kNever, p), 1800u);
+  // A pending head close below t_min tightens the window: its delivery at
+  // head + pending_bound must stay outside the epoch.
+  EXPECT_EQ(sim::next_epoch_end(1000, 900, p), 1550u);
+  // A pending head far in the future is not the binding constraint.
+  EXPECT_EQ(sim::next_epoch_end(1000, 5000, p), 1800u);
+  // All-idle engines with a pending transfer still make progress.
+  EXPECT_EQ(sim::next_epoch_end(sim::kNever, 900, p), 1550u);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical drain order
+
+/// Builds a 4-node fabric in sharded mode over two engines (nodes 0,1 ->
+/// shard 0; nodes 2,3 -> shard 1) and records delivery order at each node.
+struct ShardedFabricFixture {
+  sim::Engine legacy;  // unused in sharded mode, but Fabric wants a ref
+  sim::Engine e0, e1;
+  atm::FabricParams params;
+  atm::Fabric fabric{legacy, params};
+  std::vector<std::pair<atm::NodeId, atm::NodeId>> deliveries;  // (dst, src)
+
+  ShardedFabricFixture() {
+    for (atm::NodeId n = 0; n < 4; ++n) {
+      fabric.attach(n, [this, n](atm::Frame f) { deliveries.emplace_back(n, f.src); });
+    }
+    std::vector<sim::Engine*> eng = {&e0, &e0, &e1, &e1};
+    // Unattached ports keep null entries; mapping vectors span all ports.
+    eng.resize(params.switch_ports, nullptr);
+    std::vector<std::uint32_t> shard = {0, 0, 1, 1};
+    shard.resize(params.switch_ports, 0);
+    fabric.enable_sharding(std::move(eng), std::move(shard), 2);
+  }
+
+  atm::Frame frame(atm::NodeId src, atm::NodeId dst) const {
+    atm::Frame f;
+    f.src = src;
+    f.dst = dst;
+    return f;
+  }
+
+  void run_all() {
+    e0.run();
+    e1.run();
+  }
+};
+
+TEST(ShardedFabric, SendsBufferUntilDrain) {
+  ShardedFabricFixture fx;
+  const atm::DeliveryTiming t = fx.fabric.send(0, fx.frame(0, 2));
+  EXPECT_EQ(t.arrival, 0u) << "sharded sends cannot know the arrival time";
+  fx.run_all();
+  EXPECT_TRUE(fx.deliveries.empty()) << "nothing may deliver before the barrier";
+  EXPECT_EQ(fx.fabric.drain(sim::kNever), sim::kNever);
+  fx.run_all();
+  ASSERT_EQ(fx.deliveries.size(), 1u);
+  EXPECT_EQ(fx.deliveries[0], (std::pair<atm::NodeId, atm::NodeId>{2, 0}));
+}
+
+TEST(ShardedFabric, DrainRespectsLimitAndReturnsEarliestRemainingHead) {
+  ShardedFabricFixture fx;
+  fx.fabric.send(0, fx.frame(0, 2));                       // head = propagation
+  fx.fabric.send(sim::kMillisecond, fx.frame(1, 3));       // head = 1ms + propagation
+  const sim::SimTime early_head = fx.params.propagation;
+  const sim::SimTime late_head = sim::kMillisecond + fx.params.propagation;
+  // A limit between the two heads routes only the first transfer.
+  EXPECT_EQ(fx.fabric.drain(early_head + 1), late_head);
+  fx.run_all();
+  ASSERT_EQ(fx.deliveries.size(), 1u);
+  EXPECT_EQ(fx.deliveries[0].second, 0u);
+  // The next barrier finishes the job.
+  EXPECT_EQ(fx.fabric.drain(sim::kNever), sim::kNever);
+  fx.run_all();
+  ASSERT_EQ(fx.deliveries.size(), 2u);
+}
+
+TEST(ShardedFabric, EqualHeadsBreakTiesBySourceNodeNotCallOrder) {
+  ShardedFabricFixture fx;
+  // Same ready instant on distinct uplinks -> identical head-at-switch
+  // times. Send from the *higher* node first: canonical order must still
+  // deliver node 1's frame first.
+  fx.fabric.send(0, fx.frame(2, 0));
+  fx.fabric.send(0, fx.frame(1, 0));
+  fx.fabric.drain(sim::kNever);
+  fx.run_all();
+  ASSERT_EQ(fx.deliveries.size(), 2u);
+  EXPECT_EQ(fx.deliveries[0].second, 1u);
+  EXPECT_EQ(fx.deliveries[1].second, 2u);
+}
+
+TEST(ShardedFabric, SameSourceKeepsSendSequenceOrder) {
+  ShardedFabricFixture fx;
+  // Two frames from one node, queued back-to-back on its uplink. The second
+  // has a later head; and even at equal heads the per-source sequence is the
+  // final tie-break, so FIFO per source always holds.
+  atm::Frame a = fx.frame(0, 2);
+  atm::Frame b = fx.frame(0, 3);
+  fx.fabric.send(0, std::move(a));
+  fx.fabric.send(0, std::move(b));
+  fx.fabric.drain(sim::kNever);
+  fx.run_all();
+  ASSERT_EQ(fx.deliveries.size(), 2u);
+  EXPECT_EQ(fx.deliveries[0].first, 2u);
+  EXPECT_EQ(fx.deliveries[1].first, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-cluster determinism
+
+/// Everything a run can observably produce, flattened to bytes.
+std::string run_fingerprint(const cluster::SimParams& params,
+                            const apps::JacobiConfig& config) {
+  double checksum = 0;
+  const apps::RunResult r = apps::run_jacobi(params, config, &checksum);
+  obs::ReportPoint point;
+  point.label = "determinism";
+  point.values.emplace_back("elapsed_cycles", static_cast<double>(r.elapsed_cycles));
+  for (const sim::NodeStats::Field& f : sim::NodeStats::fields()) {
+    point.legacy.emplace_back(f.name, r.totals.*(f.member));
+  }
+  point.snapshot = r.snapshot;
+  std::ostringstream out;
+  out.precision(17);
+  out << r.elapsed << '|' << r.elapsed_cycles << '|' << checksum << '|'
+      << r.hit_ratio_pct << '|' << r.compute_e9 << '|' << r.overhead_e9 << '|'
+      << r.delay_e9 << '\n';
+  const std::vector<obs::ReportPoint> points = {point};
+  out << obs::run_report_json("test_parsim", {{"app", "jacobi"}}, points);
+  out << obs::chrome_trace_json(points);
+  return std::move(out).str();
+}
+
+TEST(ParsimDeterminism, RandomizedRunsAreByteIdenticalAcrossShardCounts) {
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 3; ++trial) {
+    apps::JacobiConfig config;
+    config.n = static_cast<std::uint32_t>(16 + (rng() % 3) * 8);
+    config.iterations = static_cast<std::uint32_t>(2 + rng() % 3);
+    const std::uint32_t procs = 1u << (1 + rng() % 3);  // 2, 4 or 8
+    cluster::SimParams params =
+        apps::make_params(cluster::BoardKind::kCni, procs);
+    params.obs.trace = true;  // exercise trace-export identity too
+    params.sim_shards = 1;
+    const std::string base = run_fingerprint(params, config);
+    for (const std::uint32_t k : {2u, 4u}) {
+      params.sim_shards = k;
+      EXPECT_EQ(base, run_fingerprint(params, config))
+          << "trial " << trial << " diverged at K=" << k;
+    }
+  }
+}
+
+TEST(ParsimDeterminism, ShardCountsBeyondNodeCountClampAndStayIdentical) {
+  apps::JacobiConfig config;
+  config.n = 16;
+  config.iterations = 2;
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.sim_shards = 1;
+  const std::string base = run_fingerprint(params, config);
+  params.sim_shards = 64;  // clamps to 4 shards
+  EXPECT_EQ(base, run_fingerprint(params, config));
+}
+
+TEST(ParsimDeterminism, ConcurrentSweepPoolDoesNotPerturbResults) {
+  // Four sharded runs on a 4-worker pool must reproduce the sequential
+  // fingerprints exactly (each point builds its own cluster; the pool only
+  // adds host-thread interleaving, which determinism must shrug off).
+  apps::JacobiConfig config;
+  config.n = 16;
+  config.iterations = 2;
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.sim_shards = 2;
+  const std::string expected = run_fingerprint(params, config);
+
+  ASSERT_EQ(setenv("CNI_BENCH_JOBS", "4", 1), 0);
+  std::vector<std::string> got(4);
+  apps::parallel_indexed(got.size(), [&](std::size_t i) {
+    got[i] = run_fingerprint(params, config);
+  });
+  ASSERT_EQ(unsetenv("CNI_BENCH_JOBS"), 0);
+  for (const std::string& g : got) EXPECT_EQ(expected, g);
+}
+
+TEST(ParsimCluster, EpochStatsAreConsistent) {
+  apps::JacobiConfig config;
+  config.n = 16;
+  config.iterations = 2;
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.sim_shards = 4;
+  const apps::RunResult r = apps::run_jacobi(params, config);
+  EXPECT_GT(r.parsim.epochs, 0u);
+  EXPECT_GT(r.parsim.events_total, 0u);
+  EXPECT_GE(r.parsim.events_total, r.parsim.critical_path_events);
+  EXPECT_GE(r.parsim.critical_path_events, r.parsim.epochs)
+      << "every epoch's busiest shard ran at least one event";
+
+  // Legacy mode reports zeros.
+  params.sim_shards = 0;
+  EXPECT_EQ(apps::run_jacobi(params, config).parsim.epochs, 0u);
+}
+
+TEST(ParsimCluster, DeadlockIsDiagnosedInShardedMode) {
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.sim_shards = 2;
+  cluster::Cluster cl(params);
+  EXPECT_THROW(cl.run([&](std::size_t i, sim::SimThread& t) {
+    if (i == 1) t.block();  // nobody will ever wake node 1
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cni
