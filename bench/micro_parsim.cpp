@@ -36,6 +36,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/jacobi.hpp"
@@ -47,31 +48,49 @@
 
 namespace {
 
+/// One benchmark configuration: `k4-nofuse` re-creates the PR-5 epoch
+/// schedule (no fusion, single global lookahead) so BENCH_parsim.json holds
+/// the machine-independent before/after epoch counts side by side.
+struct ModeSpec {
+  const char* name;
+  std::uint32_t shards;
+  bool fuse;
+  bool pair;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"legacy", 0, true, true}, {"k1", 1, true, true},      {"k2", 2, true, true},
+    {"k4", 4, true, true},     {"k4-nofuse", 4, false, false},
+};
+
 struct ModeResult {
   std::string name;
+  std::uint32_t shards = 0;
   double wall_ms = 0;
   std::uint64_t elapsed_cycles = 0;
   cni::sim::EpochStats stats;  // zeros in legacy mode
 };
 
-cni::cluster::SimParams mode_params(std::uint32_t shards, std::uint32_t processors) {
+cni::cluster::SimParams mode_params(const ModeSpec& spec, std::uint32_t processors) {
   cni::cluster::SimParams params =
       cni::apps::make_params(cni::cluster::BoardKind::kCni, processors);
   params.fabric.switch_ports = processors;
-  params.sim_shards = shards;
+  params.sim_shards = spec.shards;
+  params.sim_fusion = spec.fuse;
+  params.sim_pair_lookahead = spec.pair;
   return params;
 }
 
-ModeResult run_jacobi_mode(const std::string& name, std::uint32_t shards,
-                           std::uint32_t processors,
+ModeResult run_jacobi_mode(const ModeSpec& spec, std::uint32_t processors,
                            const cni::apps::JacobiConfig& cfg) {
-  const cni::cluster::SimParams params = mode_params(shards, processors);
+  const cni::cluster::SimParams params = mode_params(spec, processors);
   const auto t0 = std::chrono::steady_clock::now();
   const cni::apps::RunResult r = cni::apps::run_jacobi(params, cfg);
   const auto t1 = std::chrono::steady_clock::now();
 
   ModeResult m;
-  m.name = name;
+  m.name = spec.name;
+  m.shards = spec.shards;
   m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   m.elapsed_cycles = r.elapsed_cycles;
   m.stats = r.parsim;
@@ -81,11 +100,11 @@ ModeResult run_jacobi_mode(const std::string& name, std::uint32_t shards,
 constexpr cni::nic::MsgType kPing = cni::nic::kTypeHandlerBase + 60;
 constexpr cni::nic::MsgType kPong = cni::nic::kTypeAppBase + 60;
 
-ModeResult run_pingpong_mode(const std::string& name, std::uint32_t shards,
-                             std::uint32_t processors, std::uint32_t rounds) {
+ModeResult run_pingpong_mode(const ModeSpec& spec, std::uint32_t processors,
+                             std::uint32_t rounds) {
   using namespace cni;
   CNI_CHECK(processors % 2 == 0);
-  cluster::Cluster cl(mode_params(shards, processors));
+  cluster::Cluster cl(mode_params(spec, processors));
 
   // Request service on every board: bump a header field, reply. On a CNI
   // board this runs on the network processor, so the whole exchange is
@@ -134,7 +153,8 @@ ModeResult run_pingpong_mode(const std::string& name, std::uint32_t shards,
   const auto t1 = std::chrono::steady_clock::now();
 
   ModeResult m;
-  m.name = name;
+  m.name = spec.name;
+  m.shards = spec.shards;
   m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   m.elapsed_cycles = cl.elapsed_cpu_cycles();
   m.stats = cl.epoch_stats();
@@ -153,18 +173,43 @@ struct Point {
   std::vector<std::pair<std::string, std::uint64_t>> config;
   std::vector<ModeResult> modes;
 
-  /// Sharded runs must agree exactly, whatever K.
-  void check_determinism() const {
+  /// Baseline for wall_vs_k1: the k1 mode when present (always, in an
+  /// unfiltered run), otherwise whatever ran first.
+  [[nodiscard]] const ModeResult& baseline() const {
     for (const ModeResult& m : modes) {
-      if (m.name != "legacy") {
-        CNI_CHECK_MSG(m.elapsed_cycles == modes[1].elapsed_cycles,
-                      "sharded runs diverged across K");
-      }
+      if (m.name == "k1") return m;
+    }
+    return modes.front();
+  }
+
+  /// Sharded runs must agree exactly — whatever K, and with or without
+  /// epoch fusion and the per-pair lookahead matrix.
+  void check_determinism() const {
+    const ModeResult* first_sharded = nullptr;
+    for (const ModeResult& m : modes) {
+      if (m.name == "legacy") continue;
+      if (first_sharded == nullptr) first_sharded = &m;
+      CNI_CHECK_MSG(m.elapsed_cycles == first_sharded->elapsed_cycles,
+                    "sharded runs diverged across K");
     }
   }
 };
 
+/// Renders a stat that only exists for sharded modes: legacy mode has no
+/// epochs, so `0` would read like a measurement — emit JSON null instead.
+std::string u64_or_null(std::uint64_t v, bool sharded) {
+  return sharded ? std::to_string(v) : "null";
+}
+
+std::string parallelism_or_null(const ModeResult& m, bool sharded) {
+  if (!sharded) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", event_parallelism(m));
+  return buf;
+}
+
 void print_json(const std::vector<Point>& points) {
+  const unsigned hw = std::thread::hardware_concurrency();
   std::printf("{\n  \"points\": {\n");
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
     const Point& p = points[pi];
@@ -173,22 +218,30 @@ void print_json(const std::vector<Point>& points) {
       std::printf("      \"%s\": %llu,\n", key.c_str(),
                   static_cast<unsigned long long>(value));
     }
+    std::printf("      \"num_cpus\": %u,\n", hw);
     std::printf("      \"modes\": {\n");
-    const ModeResult& k1 = p.modes[1];
+    const ModeResult& k1 = p.baseline();
     for (std::size_t i = 0; i < p.modes.size(); ++i) {
       const ModeResult& m = p.modes[i];
+      const bool sharded = m.shards > 0;
+      // cores_limited: the wall number was taken with fewer host cores than
+      // shard threads, so it understates what a wide host would measure.
+      const bool cores_limited = sharded && hw < m.shards;
       std::printf(
           "        \"%s\": {\"wall_ms\": %.2f, \"elapsed_cycles\": %llu, "
-          "\"epochs\": %llu, \"events_total\": %llu, "
-          "\"critical_path_events\": %llu, \"event_parallelism\": %.2f, "
-          "\"wall_speedup_vs_k1\": %.2f}%s\n",
+          "\"epochs\": %s, \"events_total\": %s, "
+          "\"critical_path_events\": %s, \"fused_epochs\": %s, "
+          "\"barriers\": %s, \"event_parallelism\": %s, "
+          "\"wall_vs_k1\": %.2f, \"cores_limited\": %s}%s\n",
           m.name.c_str(), m.wall_ms,
           static_cast<unsigned long long>(m.elapsed_cycles),
-          static_cast<unsigned long long>(m.stats.epochs),
-          static_cast<unsigned long long>(m.stats.events_total),
-          static_cast<unsigned long long>(m.stats.critical_path_events),
-          event_parallelism(m), k1.wall_ms / m.wall_ms,
-          i + 1 < p.modes.size() ? "," : "");
+          u64_or_null(m.stats.epochs, sharded).c_str(),
+          u64_or_null(m.stats.events_total, sharded).c_str(),
+          u64_or_null(m.stats.critical_path_events, sharded).c_str(),
+          u64_or_null(m.stats.fused_epochs, sharded).c_str(),
+          u64_or_null(m.stats.barriers, sharded).c_str(),
+          parallelism_or_null(m, sharded).c_str(), k1.wall_ms / m.wall_ms,
+          cores_limited ? "true" : "false", i + 1 < p.modes.size() ? "," : "");
     }
     std::printf("      }\n    }%s\n", pi + 1 < points.size() ? "," : "");
   }
@@ -201,13 +254,16 @@ void print_table(const Point& p) {
     std::printf("%s%s=%llu", i != 0 ? ", " : "", p.config[i].first.c_str(),
                 static_cast<unsigned long long>(p.config[i].second));
   }
-  std::printf(")\n%-8s %12s %16s %10s %18s %16s\n", "mode", "wall_ms",
-              "elapsed_cycles", "epochs", "event_parallelism", "wall_vs_k1");
-  const ModeResult& k1 = p.modes[1];
+  std::printf(")\n%-10s %12s %16s %10s %10s %18s %12s\n", "mode", "wall_ms",
+              "elapsed_cycles", "epochs", "barriers", "event_parallelism",
+              "wall_vs_k1");
+  const ModeResult& k1 = p.baseline();
   for (const ModeResult& m : p.modes) {
-    std::printf("%-8s %12.2f %16llu %10llu %18.2f %16.2f\n", m.name.c_str(),
-                m.wall_ms, static_cast<unsigned long long>(m.elapsed_cycles),
+    std::printf("%-10s %12.2f %16llu %10llu %10llu %18.2f %12.2f\n",
+                m.name.c_str(), m.wall_ms,
+                static_cast<unsigned long long>(m.elapsed_cycles),
                 static_cast<unsigned long long>(m.stats.epochs),
+                static_cast<unsigned long long>(m.stats.barriers),
                 event_parallelism(m), k1.wall_ms / m.wall_ms);
   }
 }
@@ -221,9 +277,13 @@ int main(int argc, char** argv) {
   std::uint32_t n_arg = 0;
   std::uint32_t iters_arg = 0;
   std::uint32_t rounds_arg = 0;
+  const char* point_filter = nullptr;
+  const char* mode_filter = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strncmp(argv[i], "--point=", 8) == 0) point_filter = argv[i] + 8;
+    if (std::strncmp(argv[i], "--modes=", 8) == 0) mode_filter = argv[i] + 8;
     if (std::strncmp(argv[i], "--procs=", 8) == 0) {
       procs_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
     }
@@ -253,31 +313,48 @@ int main(int argc, char** argv) {
 
   std::vector<Point> points;
 
+  // --point=/--modes= narrow a run for profiling or A/B timing; the pinned
+  // BENCH_parsim.json snapshot always comes from an unfiltered run.
+  const auto point_wanted = [&](const char* name) {
+    return point_filter == nullptr || std::strcmp(point_filter, name) == 0;
+  };
+  const auto mode_wanted = [&](const ModeSpec& spec) {
+    if (mode_filter == nullptr) return true;
+    const char* hit = std::strstr(mode_filter, spec.name);
+    if (hit == nullptr) return false;
+    const char end = hit[std::strlen(spec.name)];
+    return (hit == mode_filter || hit[-1] == ',') && (end == '\0' || end == ',');
+  };
+
   // All modes of a point share one process, and the first run pays every
   // first-touch page fault while later runs reuse warm allocator arenas —
   // tens of seconds of pure memory-system bias at the full jacobi size. One
   // untimed warm-up run per point pays that cost before anything is timed.
-  Point ping;
-  ping.name = "pingpong";
-  ping.config = {{"processors", processors}, {"rounds", rounds}};
-  run_pingpong_mode("warmup", 1, processors, rounds);
-  for (const auto& [name, shards] :
-       {std::pair<const char*, std::uint32_t>{"legacy", 0}, {"k1", 1}, {"k2", 2}, {"k4", 4}}) {
-    ping.modes.push_back(run_pingpong_mode(name, shards, processors, rounds));
-  }
-  ping.check_determinism();
-  points.push_back(std::move(ping));
+  constexpr ModeSpec kWarmup{"warmup", 1, true, true};
 
-  Point jac;
-  jac.name = "jacobi";
-  jac.config = {{"processors", processors}, {"n", cfg.n}, {"iterations", cfg.iterations}};
-  run_jacobi_mode("warmup", 1, processors, cfg);
-  for (const auto& [name, shards] :
-       {std::pair<const char*, std::uint32_t>{"legacy", 0}, {"k1", 1}, {"k2", 2}, {"k4", 4}}) {
-    jac.modes.push_back(run_jacobi_mode(name, shards, processors, cfg));
+  if (point_wanted("pingpong")) {
+    Point ping;
+    ping.name = "pingpong";
+    ping.config = {{"processors", processors}, {"rounds", rounds}};
+    run_pingpong_mode(kWarmup, processors, rounds);
+    for (const ModeSpec& spec : kModes) {
+      if (mode_wanted(spec)) ping.modes.push_back(run_pingpong_mode(spec, processors, rounds));
+    }
+    ping.check_determinism();
+    if (!ping.modes.empty()) points.push_back(std::move(ping));
   }
-  jac.check_determinism();
-  points.push_back(std::move(jac));
+
+  if (point_wanted("jacobi")) {
+    Point jac;
+    jac.name = "jacobi";
+    jac.config = {{"processors", processors}, {"n", cfg.n}, {"iterations", cfg.iterations}};
+    run_jacobi_mode(kWarmup, processors, cfg);
+    for (const ModeSpec& spec : kModes) {
+      if (mode_wanted(spec)) jac.modes.push_back(run_jacobi_mode(spec, processors, cfg));
+    }
+    jac.check_determinism();
+    if (!jac.modes.empty()) points.push_back(std::move(jac));
+  }
 
   if (json) {
     print_json(points);

@@ -149,6 +149,46 @@ def write_obs() -> None:
     print(f"wrote {path}")
 
 
+PARSIM_SCHEMA_VERSION = 2
+
+# Per-mode fields micro_parsim --json must emit. The epoch statistics are
+# null (not 0) in legacy mode — a single-engine run has no epochs, and the
+# v1 report's `"epochs": 0` next to `"wall_speedup_vs_k1": 0.8` read like a
+# regression instead of a non-measurement.
+PARSIM_EPOCH_FIELDS = ("epochs", "events_total", "critical_path_events",
+                       "fused_epochs", "barriers", "event_parallelism")
+PARSIM_MODE_FIELDS = ("wall_ms", "elapsed_cycles", "wall_vs_k1",
+                      "cores_limited") + PARSIM_EPOCH_FIELDS
+
+
+def validate_parsim(report: dict) -> None:
+    """Shape contract for BENCH_parsim.json points (schema v2): every point
+    carries num_cpus, every mode wall_vs_k1 + cores_limited, and the epoch
+    stats are null exactly in legacy mode. Raises ValueError on violation so
+    a drifting micro_parsim emitter can't silently corrupt the pinned file."""
+    for pname, point in report["points"].items():
+        where = f"points.{pname}"
+        if not isinstance(point.get("num_cpus"), int):
+            raise ValueError(f"{where}: missing integer num_cpus")
+        for mname, mode in point["modes"].items():
+            mwhere = f"{where}.modes.{mname}"
+            if "wall_speedup_vs_k1" in mode:
+                raise ValueError(f"{mwhere}: stale v1 field wall_speedup_vs_k1")
+            for field in PARSIM_MODE_FIELDS:
+                if field not in mode:
+                    raise ValueError(f"{mwhere}: missing {field}")
+            if not isinstance(mode["cores_limited"], bool):
+                raise ValueError(f"{mwhere}: cores_limited must be boolean")
+            is_legacy = mname == "legacy"
+            for field in PARSIM_EPOCH_FIELDS:
+                if is_legacy and mode[field] is not None:
+                    raise ValueError(
+                        f"{mwhere}: {field} must be null in legacy mode")
+                if not is_legacy and mode[field] is None:
+                    raise ValueError(
+                        f"{mwhere}: {field} must be measured in sharded mode")
+
+
 def write_parsim() -> None:
     # micro_parsim is a plain binary (no google-benchmark), so the context
     # block is assembled here. It also CNI_CHECKs in-process that every
@@ -160,7 +200,24 @@ def write_parsim() -> None:
         text=True,
     ).stdout
     report = json.loads(out)
+    validate_parsim(report)
+
+    path = ROOT / "BENCH_parsim.json"
+    # Keep prior runs: wall numbers are host-bound (a cores_limited run on a
+    # narrow VM understates real speedup), so a re-run on a wider host should
+    # sit next to the old point, not erase it.
+    history = []
+    if path.exists():
+        try:
+            prev = json.loads(path.read_text())
+            history = prev.get("history", [])
+            if "points" in prev:
+                history.insert(0, {"context": prev.get("context"),
+                                   "points": prev["points"]})
+        except ValueError:
+            pass
     result = {
+        "schema_version": PARSIM_SCHEMA_VERSION,
         "context": {
             "host": platform.node(),
             "num_cpus": os.cpu_count(),
@@ -168,9 +225,9 @@ def write_parsim() -> None:
             **env_context(),
         },
         **report,
+        "history": history[:4],
     }
 
-    path = ROOT / "BENCH_parsim.json"
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
 

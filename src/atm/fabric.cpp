@@ -1,10 +1,24 @@
 #include "atm/fabric.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/check.hpp"
 
 namespace cni::atm {
+namespace {
+
+/// The canonical routing order: (head, src, seq). src+seq alone are unique,
+/// so this is a total order, and every key component comes from source-local
+/// state — the sorted sequence is independent of the shard count, the epoch
+/// schedule and worker timing.
+bool canonical_less(const WireTransfer& a, const WireTransfer& b) {
+  if (a.head != b.head) return a.head < b.head;
+  if (a.frame.src != b.frame.src) return a.frame.src < b.frame.src;
+  return a.seq < b.seq;
+}
+
+}  // namespace
 
 Fabric::Fabric(sim::Engine& engine, const FabricParams& params)
     : engine_(engine),
@@ -13,7 +27,8 @@ Fabric::Fabric(sim::Engine& engine, const FabricParams& params)
       switch_(params.switch_ports, params.switch_latency),
       uplinks_(params.switch_ports),
       downlinks_(params.switch_ports),
-      hooks_(params.switch_ports) {}
+      hooks_(params.switch_ports),
+      lanes_(1) {}
 
 void Fabric::attach(NodeId node, DeliveryHook hook) {
   CNI_CHECK(node < hooks_.size());
@@ -21,45 +36,79 @@ void Fabric::attach(NodeId node, DeliveryHook hook) {
   hooks_[node] = std::move(hook);
 }
 
+std::uint64_t Fabric::frames_sent() const {
+  std::uint64_t total = 0;
+  for (const Lane& l : lanes_) total += l.frames;
+  return total;
+}
+
+std::uint64_t Fabric::cells_sent() const {
+  std::uint64_t total = 0;
+  for (const Lane& l : lanes_) total += l.cells;
+  return total;
+}
+
+sim::LookaheadMatrix Fabric::lookahead_matrix(const sim::ShardPlan& plan) const {
+  sim::LookaheadMatrix m;
+  m.shards = plan.shards;
+  m.entries.assign(static_cast<std::size_t>(plan.shards) * plan.shards,
+                   min_lookahead());
+  for (std::uint32_t r = 0; r < plan.shards; ++r) {
+    m.entries[static_cast<std::size_t>(r) * plan.shards + r] =
+        sim::LookaheadMatrix::kUnbounded;
+  }
+  return m;
+}
+
 void Fabric::enable_sharding(std::vector<sim::Engine*> engine_of_node,
                              std::vector<std::uint32_t> shard_of_node,
-                             std::uint32_t shards) {
+                             const sim::ShardPlan& plan, sim::FusionLedger* ledger) {
   CNI_CHECK_MSG(!sharded_, "fabric sharding enabled twice");
-  CNI_CHECK_MSG(frames_ == 0, "cannot enable sharding after traffic started");
+  CNI_CHECK_MSG(frames_sent() == 0, "cannot enable sharding after traffic started");
   CNI_CHECK(engine_of_node.size() == hooks_.size() &&
-            shard_of_node.size() == hooks_.size() && shards >= 1);
+            shard_of_node.size() == hooks_.size() && plan.shards >= 1);
   sharded_ = true;
-  shards_ = shards;
+  aligned_ = plan.aligned();
+  shards_ = plan.shards;
+  ledger_ = ledger;
   engine_of_node_ = std::move(engine_of_node);
   shard_of_node_ = std::move(shard_of_node);
   send_seq_.assign(hooks_.size(), 0);
   outboxes_.resize(shards_);
+  lanes_.resize(shards_);
+  switch_.set_lanes(shards_);
 }
 
 sim::SimTime Fabric::route_and_schedule(sim::SimTime head, sim::SimDuration burst,
-                                        Frame frame) {
+                                        Frame frame, std::uint32_t lane) {
   const NodeId dst = frame.dst;
   // Cut-through: the burst's head crosses the fabric stage by stage, delayed
   // by contention with earlier bursts sharing an element output.
-  const sim::SimTime head_out = switch_.route(head, frame.src, dst, burst);
+  const sim::SimTime head_out = switch_.route(head, frame.src, dst, burst, lane);
 
   // Downlink occupancy + propagation to the destination NIC. The last bit
   // arrives when the burst finishes serializing down the link.
   const sim::SimTime down_done = downlinks_[dst].occupy(head_out, burst);
   const sim::SimTime arrival = down_done + params_.propagation;
 
-  ++frames_;
-  cells_total_ += geometry_.cells_for(frame.size());
+  Lane& tally = lanes_[lane];
+  ++tally.frames;
+  tally.cells += geometry_.cells_for(frame.size());
 
   // The delivery event carries only the hook pointer plus the frame's
   // flattened Parts (FrameTask): it fits InlineFn's inline buffer and shares
   // the pooled payload by refcount instead of copying the Frame into a
   // heap-allocated closure. hooks_ is sized once in the constructor, so the
-  // element address is stable across the event's lifetime.
-  sim::Engine& target = sharded_ ? *engine_of_node_[dst] : engine_;
-  target.schedule_at(
-      arrival, FrameTask([hook = &hooks_[dst]](Frame f) { (*hook)(std::move(f)); },
-                         std::move(frame)));
+  // element address is stable across the event's lifetime. Sharded mode uses
+  // the biased delivery sequence so same-instant ties against node-local
+  // events resolve by content, not by epoch schedule (DESIGN.md §12).
+  FrameTask task([hook = &hooks_[dst]](Frame f) { (*hook)(std::move(f)); },
+                 std::move(frame));
+  if (sharded_) {
+    engine_of_node_[dst]->schedule_delivery(arrival, std::move(task));
+  } else {
+    engine_.schedule_at(arrival, std::move(task));
+  }
   return arrival;
 }
 
@@ -84,47 +133,119 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
   const sim::SimTime head = up_start + params_.propagation;
 
   if (sharded_) {
-    // The switch and downlink are global resources: defer their traversal to
-    // the epoch barrier, where drain() replays all shards' transfers in the
-    // canonical (head, src, seq) order. Appending here touches only this
-    // shard's outbox, so concurrent sends from different shards never race.
+    // The switch and downlink are cross-node resources: defer the traversal
+    // and replay it in canonical (head, src, seq) order later. Intra-shard
+    // transfers under an aligned plan park in the shard's private local
+    // queue (routed by the shard itself mid-epoch: their paths are disjoint
+    // from every other shard's); everything else goes to the outbox for the
+    // next barrier drain and is recorded in the fusion ledger, whose stop
+    // rule ends a fused epoch before the delivery could be missed.
+    const std::uint32_t ss = shard_of_node_[src];
     WireTransfer w;
     w.head = head;
     w.burst = serialization;
     w.seq = ++send_seq_[src];
     w.frame = std::move(frame);
-    outboxes_[shard_of_node_[src]].push_back(std::move(w));
+    if (aligned_ && shard_of_node_[dst] == ss) {
+      Lane& l = lanes_[ss];
+      if (w.head < l.fresh_min) l.fresh_min = w.head;
+      l.fresh.push_back(std::move(w));
+    } else {
+      if (ledger_ != nullptr) ledger_->note_send(up_start);
+      outboxes_[ss].push_back(std::move(w));
+    }
     return t;
   }
 
-  t.arrival = route_and_schedule(head, serialization, std::move(frame));
+  t.arrival = route_and_schedule(head, serialization, std::move(frame), 0);
   return t;
 }
 
+void Fabric::merge_lane(Lane& l) {
+  std::sort(l.fresh.begin(), l.fresh.end(), canonical_less);
+  l.scratch.clear();
+  l.scratch.reserve(l.sorted.size() - l.pos + l.fresh.size());
+  std::merge(std::make_move_iterator(l.sorted.begin() + static_cast<std::ptrdiff_t>(l.pos)),
+             std::make_move_iterator(l.sorted.end()),
+             std::make_move_iterator(l.fresh.begin()),
+             std::make_move_iterator(l.fresh.end()), std::back_inserter(l.scratch),
+             canonical_less);
+  l.sorted.swap(l.scratch);
+  l.pos = 0;
+  l.fresh.clear();
+  l.fresh_min = sim::kNever;
+}
+
+sim::SimTime Fabric::local_pending_min(std::uint32_t shard) const {
+  const Lane& l = lanes_[shard];
+  sim::SimTime m = l.fresh_min;
+  if (l.pos < l.sorted.size() && l.sorted[l.pos].head < m) m = l.sorted[l.pos].head;
+  return m;
+}
+
+sim::SimTime Fabric::local_drain(std::uint32_t shard, sim::SimTime limit) {
+  Lane& l = lanes_[shard];
+  if (l.fresh_min < limit) merge_lane(l);
+  while (l.pos < l.sorted.size() && l.sorted[l.pos].head < limit) {
+    WireTransfer& w = l.sorted[l.pos];
+    route_and_schedule(w.head, w.burst, std::move(w.frame), shard);
+    ++l.pos;
+  }
+  if (l.pos == l.sorted.size()) {
+    l.sorted.clear();
+    l.pos = 0;
+  }
+  return local_pending_min(shard);
+}
+
 sim::SimTime Fabric::drain(sim::SimTime limit) {
-  for (std::vector<WireTransfer>& box : outboxes_) {
-    for (WireTransfer& w : box) pending_.push_back(std::move(w));
-    box.clear();
+  // Flush every outbox and every shard-local queue into one batch, then fold
+  // it into the pending set with a single size-reserved merge: per epoch,
+  // one sort of the new transfers and one linear merge — no per-transfer
+  // allocation and no re-sort of what previous drains already ordered.
+  std::size_t add = 0;
+  for (const std::vector<WireTransfer>& box : outboxes_) add += box.size();
+  for (const Lane& l : lanes_) add += l.fresh.size() + (l.sorted.size() - l.pos);
+  if (add != 0) {
+    batch_.clear();
+    batch_.reserve(add);
+    for (std::vector<WireTransfer>& box : outboxes_) {
+      for (WireTransfer& w : box) batch_.push_back(std::move(w));
+      box.clear();
+    }
+    for (Lane& l : lanes_) {
+      for (std::size_t i = l.pos; i < l.sorted.size(); ++i) {
+        batch_.push_back(std::move(l.sorted[i]));
+      }
+      l.sorted.clear();
+      l.pos = 0;
+      for (WireTransfer& w : l.fresh) batch_.push_back(std::move(w));
+      l.fresh.clear();
+      l.fresh_min = sim::kNever;
+    }
+    std::sort(batch_.begin(), batch_.end(), canonical_less);
+    merged_.clear();
+    merged_.reserve(pending_.size() - pending_pos_ + batch_.size());
+    std::merge(
+        std::make_move_iterator(pending_.begin() + static_cast<std::ptrdiff_t>(pending_pos_)),
+        std::make_move_iterator(pending_.end()), std::make_move_iterator(batch_.begin()),
+        std::make_move_iterator(batch_.end()), std::back_inserter(merged_),
+        canonical_less);
+    pending_.swap(merged_);
+    pending_pos_ = 0;
+    batch_.clear();
   }
-  if (pending_.empty()) return sim::kNever;
-  // (head, src, seq) is a total order over transfers — src+seq alone are
-  // unique — and every key component comes from source-local state, so the
-  // sorted sequence is independent of the shard count and worker timing.
-  std::sort(pending_.begin(), pending_.end(),
-            [](const WireTransfer& a, const WireTransfer& b) {
-              if (a.head != b.head) return a.head < b.head;
-              if (a.frame.src != b.frame.src) return a.frame.src < b.frame.src;
-              return a.seq < b.seq;
-            });
-  std::size_t done = 0;
-  while (done < pending_.size() && pending_[done].head < limit) {
-    WireTransfer& w = pending_[done];
-    route_and_schedule(w.head, w.burst, std::move(w.frame));
-    ++done;
+  while (pending_pos_ < pending_.size() && pending_[pending_pos_].head < limit) {
+    WireTransfer& w = pending_[pending_pos_];
+    route_and_schedule(w.head, w.burst, std::move(w.frame), 0);
+    ++pending_pos_;
   }
-  pending_.erase(pending_.begin(),
-                 pending_.begin() + static_cast<std::ptrdiff_t>(done));
-  return pending_.empty() ? sim::kNever : pending_.front().head;
+  if (pending_pos_ == pending_.size()) {
+    pending_.clear();
+    pending_pos_ = 0;
+    return sim::kNever;
+  }
+  return pending_[pending_pos_].head;
 }
 
 }  // namespace cni::atm

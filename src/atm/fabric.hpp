@@ -15,6 +15,7 @@
 #include "atm/cell.hpp"
 #include "atm/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded.hpp"
 #include "sim/time.hpp"
 
 namespace cni::atm {
@@ -31,20 +32,22 @@ struct FabricParams {
 struct DeliveryTiming {
   sim::SimTime first_bit_out = 0;  ///< when serialization onto the uplink began
   /// When the last bit reaches the dst NIC. In sharded mode the switch is
-  /// traversed at the next epoch barrier, so `arrival` is 0 (unknown at send
-  /// time); senders only consume the source-side fields, which is what makes
-  /// buffering the traversal legal at all.
+  /// traversed at the next epoch barrier (or the owning shard's next fused
+  /// sub-window), so `arrival` is 0 (unknown at send time); senders only
+  /// consume the source-side fields, which is what makes buffering the
+  /// traversal legal at all.
   sim::SimTime arrival = 0;
   std::uint64_t cells = 0;
   std::uint64_t wire_bytes = 0;
 };
 
-/// One cross-shard send, buffered between its uplink serialization (computed
-/// at send time, from source-local state only) and its switch traversal
-/// (performed at the epoch barrier). The canonical drain order is
-/// (head, src, seq) — a total order in which every component is derived from
-/// the source node alone, so it cannot depend on the shard count or on which
-/// worker ran first.
+/// One buffered send, parked between its uplink serialization (computed at
+/// send time, from source-local state only) and its switch traversal
+/// (performed at the epoch barrier — or, for intra-shard transfers under an
+/// aligned plan, by the owning shard's local drain). The canonical routing
+/// order is (head, src, seq) — a total order in which every component is
+/// derived from the source node alone, so it cannot depend on the shard
+/// count, the epoch schedule, or which worker ran first.
 struct WireTransfer {
   sim::SimTime head = 0;       ///< first bit reaches the switch input
   sim::SimDuration burst = 0;  ///< uplink serialization time (resource hold)
@@ -72,8 +75,9 @@ class Fabric {
   /// Sends `frame`, whose serialization onto the uplink may start at `ready`.
   /// Legacy mode: routes through the switch and schedules delivery at the
   /// destination immediately. Sharded mode: occupies the uplink (source-local
-  /// state) and buffers a WireTransfer into the calling shard's outbox; the
-  /// traversal happens at the next epoch barrier via drain().
+  /// state) and buffers a WireTransfer — into the shard's private local queue
+  /// when source and destination share a shard under an aligned plan, into
+  /// the shard's outbox (recording the send in the fusion ledger) otherwise.
   DeliveryTiming send(sim::SimTime ready, Frame frame);
 
   // ---- Sharded operation (see sim/sharded.hpp, DESIGN.md §12) ----
@@ -91,29 +95,76 @@ class Fabric {
     return params_.switch_latency + params_.propagation;
   }
 
+  /// Per-shard-pair lookahead for `plan` (sim::next_epoch_end's matrix).
+  /// The single-stage banyan reaches every port through one shared pipeline,
+  /// so all cross entries equal min_lookahead(); a multi-stage or torus
+  /// fabric (ROADMAP item 2) would return genuinely distance-dependent rows
+  /// computed from the shortest inter-block route, and the epoch scheduler
+  /// picks up the slack with no further changes.
+  [[nodiscard]] sim::LookaheadMatrix lookahead_matrix(const sim::ShardPlan& plan) const;
+
   /// Switches the fabric into sharded mode: node i's deliveries are
   /// scheduled on engine_of_node[i], and sends from node i buffer into the
-  /// outbox of shard_of_node[i]. Call once, before any traffic.
+  /// outbox (or local queue) of shard_of_node[i]. When `ledger` is non-null
+  /// every barrier-requiring send is recorded there, enabling epoch fusion.
+  /// Call once, before any traffic.
   void enable_sharding(std::vector<sim::Engine*> engine_of_node,
-                       std::vector<std::uint32_t> shard_of_node, std::uint32_t shards);
+                       std::vector<std::uint32_t> shard_of_node,
+                       const sim::ShardPlan& plan, sim::FusionLedger* ledger);
 
   /// Epoch-barrier drain. Single-threaded (barriers order it against all
-  /// shard execution): merges every shard's outbox, sorts canonically by
-  /// (head, src, seq), and routes each transfer with head < limit through
-  /// the banyan + downlink, scheduling delivery on the destination shard's
-  /// engine. Returns the earliest still-buffered head, or sim::kNever.
+  /// shard execution): flushes every outbox *and* every shard-local queue
+  /// into the pending set with one size-reserved sorted merge (no
+  /// per-transfer allocation), then routes each transfer with head < limit
+  /// through the banyan + downlink in canonical (head, src, seq) order,
+  /// scheduling delivery on the destination shard's engine. Returns the
+  /// earliest still-buffered head, or sim::kNever.
   sim::SimTime drain(sim::SimTime limit);
 
+  /// Fused-epoch fast path: routes `shard`'s own intra-block transfers with
+  /// head < limit, in canonical order, and returns the earliest remaining
+  /// local head. Callable concurrently for *different* shards: under an
+  /// aligned plan (the only way transfers enter local queues) intra-block
+  /// paths of different blocks traverse disjoint switch resources, and the
+  /// destination downlink/engine belong to the owning shard.
+  sim::SimTime local_drain(std::uint32_t shard, sim::SimTime limit);
+
+  /// Earliest unrouted transfer in `shard`'s local queue (kNever when none).
+  /// Owner-shard only, like local_drain.
+  [[nodiscard]] sim::SimTime local_pending_min(std::uint32_t shard) const;
+
   [[nodiscard]] bool sharded() const { return sharded_; }
-  [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
-  [[nodiscard]] std::uint64_t cells_sent() const { return cells_total_; }
+  [[nodiscard]] std::uint64_t frames_sent() const;
+  [[nodiscard]] std::uint64_t cells_sent() const;
   [[nodiscard]] const BanyanSwitch& fabric_switch() const { return switch_; }
 
  private:
+  /// Per-shard frame/cell tallies and local transfer queue, cache-line
+  /// padded: lane s is touched by shard s during epochs (appends, local
+  /// drains) and by the coordinator only at barriers.
+  struct alignas(64) Lane {
+    std::uint64_t frames = 0;
+    std::uint64_t cells = 0;
+    // Local (intra-block) queue: `fresh` collects appends in send order;
+    // local_drain folds it into `sorted` (canonical order, consumed from
+    // `pos`) with a size-reserved merge through `scratch`.
+    std::vector<WireTransfer> fresh;
+    sim::SimTime fresh_min = sim::kNever;
+    std::vector<WireTransfer> sorted;
+    std::size_t pos = 0;
+    std::vector<WireTransfer> scratch;
+  };
+
   /// The switch-to-NIC leg shared by both modes: banyan traversal, downlink
-  /// occupancy, delivery event. Mutates global (cross-node) resources, so in
-  /// sharded mode only drain() may call it.
-  sim::SimTime route_and_schedule(sim::SimTime head, sim::SimDuration burst, Frame frame);
+  /// occupancy, delivery event. `lane` charges the statistics tallies; the
+  /// coordinator's barrier drains use lane 0, shard s's local drains lane s
+  /// (sound: barrier drains never run concurrently with anything, and local
+  /// drains of different shards touch disjoint resources).
+  sim::SimTime route_and_schedule(sim::SimTime head, sim::SimDuration burst, Frame frame,
+                                  std::uint32_t lane);
+
+  /// Folds a lane's fresh appends into its sorted queue (canonical order).
+  void merge_lane(Lane& lane);
 
   sim::Engine& engine_;
   FabricParams params_;
@@ -122,18 +173,23 @@ class Fabric {
   std::vector<sim::ServiceQueue> uplinks_;
   std::vector<sim::ServiceQueue> downlinks_;
   std::vector<DeliveryHook> hooks_;
-  std::uint64_t frames_ = 0;
-  std::uint64_t cells_total_ = 0;
-  // Sharded mode. Each outbox is appended to only by its own shard's worker
-  // during an epoch and consumed only by drain() at the barrier; the epoch
-  // barrier's acquire/release pair is the happens-before between the two.
+  // Sharded mode. Each outbox/lane is touched only by its own shard's worker
+  // during an epoch and consumed only at barriers (except the lane's local
+  // queue, drained by its own shard); the epoch machinery's release/acquire
+  // edges are the happens-before between the two sides.
   bool sharded_ = false;
+  bool aligned_ = false;  ///< plan blocks equal + power-of-two: local fast path on
   std::uint32_t shards_ = 1;
+  sim::FusionLedger* ledger_ = nullptr;
   std::vector<sim::Engine*> engine_of_node_;
   std::vector<std::uint32_t> shard_of_node_;
-  std::vector<std::uint64_t> send_seq_;            // per source node
+  std::vector<std::uint64_t> send_seq_;              // per source node
   std::vector<std::vector<WireTransfer>> outboxes_;  // per source shard
-  std::vector<WireTransfer> pending_;              // merged, awaiting finality
+  std::vector<Lane> lanes_;                          // per shard; lane 0 in legacy
+  std::vector<WireTransfer> pending_;                // merged, canonical order
+  std::size_t pending_pos_ = 0;                      // routed prefix of pending_
+  std::vector<WireTransfer> batch_;                  // drain scratch
+  std::vector<WireTransfer> merged_;                 // drain scratch
 };
 
 }  // namespace cni::atm

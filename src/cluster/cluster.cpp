@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "util/buf_pool.hpp"
 #include "util/check.hpp"
@@ -12,6 +13,21 @@ namespace {
 
 /// Logger time hook: stamps log lines with the engine's simulated clock.
 std::uint64_t engine_now(void* ctx) { return static_cast<sim::Engine*>(ctx)->now(); }
+
+/// CNI_SIM_SHARDS=auto: the largest power-of-two K the host can actually run
+/// concurrently that still leaves every shard at least two nodes. Small
+/// shards would be pointless even on a wide machine: the PR-5 EpochStats
+/// show event-parallelism grows with nodes per shard (intra-block DSM
+/// traffic dominates, and with epoch fusion it costs no barrier at all), so
+/// once blocks shrink to one node the extra threads only buy rendezvous
+/// overhead. Safe to resolve per host because sharded artifacts are
+/// byte-identical for every K — auto-tune changes wall clock, nothing else.
+std::uint32_t auto_sim_shards(std::uint32_t processors) {
+  const unsigned hw = std::thread::hardware_concurrency();  // 0 when unknown
+  std::uint32_t k = 1;
+  while (2 * k <= hw && 4 * k <= processors) k *= 2;
+  return k;
+}
 
 }  // namespace
 
@@ -52,7 +68,10 @@ Cluster::Cluster(const SimParams& params)
     // Parallel-in-run mode (DESIGN.md §12): contiguous node blocks per shard,
     // one private engine each. The fabric learns the mapping so deliveries
     // land on the destination node's shard and sends buffer per source shard.
-    plan_ = sim::ShardPlan::balanced(params.processors, params.sim_shards);
+    const std::uint32_t requested = params.sim_shards == kAutoShards
+                                        ? auto_sim_shards(params.processors)
+                                        : params.sim_shards;
+    plan_ = sim::ShardPlan::balanced(params.processors, requested);
     shard_engines_.reserve(plan_.shards);
     for (std::uint32_t s = 0; s < plan_.shards; ++s) {
       shard_engines_.push_back(std::make_unique<sim::Engine>());
@@ -63,8 +82,8 @@ Cluster::Cluster(const SimParams& params)
       shard_of_node[i] = plan_.shard_of(i);
       engine_of_node[i] = shard_engines_[shard_of_node[i]].get();
     }
-    fabric_.enable_sharding(std::move(engine_of_node), std::move(shard_of_node),
-                            plan_.shards);
+    fabric_.enable_sharding(std::move(engine_of_node), std::move(shard_of_node), plan_,
+                            params.sim_fusion ? &fusion_ledger_ : nullptr);
   }
   for (std::uint32_t i = 0; i < params.processors; ++i) {
     obs_.bind_node_stats(i, stats_.node(i));
@@ -106,7 +125,20 @@ sim::SimTime Cluster::run(util::FunctionRef<void(std::size_t, sim::SimThread&)> 
     ep.lookahead = fabric_.min_lookahead();
     ep.drain_horizon = fabric_.drain_horizon();
     ep.pending_bound = fabric_.pending_bound();
-    sim::run_epochs(engines, ep,
+    sim::LookaheadMatrix matrix;
+    const sim::LookaheadMatrix* mp = nullptr;
+    if (params_.sim_pair_lookahead) {
+      matrix = fabric_.lookahead_matrix(plan_);
+      mp = &matrix;
+    }
+    // Named lambdas: FusedHooks borrows them for the whole run_epochs call.
+    auto local_drain = [this](std::uint32_t s, sim::SimTime limit) {
+      return fabric_.local_drain(s, limit);
+    };
+    auto local_min = [this](std::uint32_t s) { return fabric_.local_pending_min(s); };
+    const sim::FusedHooks hooks{local_drain, local_min,
+                                params_.sim_fusion ? &fusion_ledger_ : nullptr};
+    sim::run_epochs(engines, ep, mp, hooks,
                     [this](sim::SimTime limit) { return fabric_.drain(limit); },
                     &epoch_stats_);
   } else {

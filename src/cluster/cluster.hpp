@@ -98,6 +98,9 @@ class Cluster {
   // stays idle. Constructed before nodes_ so Node can bind its engine ref.
   sim::ShardPlan plan_;
   std::vector<std::unique_ptr<sim::Engine>> shard_engines_;
+  // The fabric records barrier-requiring sends here (when sim_fusion is on);
+  // run() passes it to the epoch runner, which re-arms it per fused epoch.
+  sim::FusionLedger fusion_ledger_;
   sim::EpochStats epoch_stats_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::SimTime elapsed_ = 0;

@@ -18,10 +18,26 @@ enum class BoardKind {
   kStandard,  ///< baseline: no ADC, no Message Cache, no AIH
 };
 
+/// SimParams::sim_shards value meaning "pick K for me": the cluster resolves
+/// it from the host core count and the node count (see Cluster's auto-tune).
+/// Safe to use anywhere a fixed K is: sharded artifacts are byte-identical
+/// for every K, so the resolved value changes only wall-clock behaviour.
+inline constexpr std::uint32_t kAutoShards = 0xffffffffu;
+
 /// Process-default shard count for parallel-in-run simulation: CNI_SIM_SHARDS
-/// if set and >= 0, else 0 (legacy single-engine mode). Read once per call so
-/// every cluster in a sweep sees one consistent setting.
+/// if set and >= 0 (the literal `auto` yields kAutoShards), else 0 (legacy
+/// single-engine mode). Read once per call so every cluster in a sweep sees
+/// one consistent setting.
 [[nodiscard]] std::uint32_t default_sim_shards();
+
+/// Process-default for SimParams::sim_fusion: CNI_SIM_FUSION, default on;
+/// `0`/`off` disable. Fusion changes only the epoch schedule, never the
+/// artifacts, so the switch exists for A/B benchmarking and identity tests.
+[[nodiscard]] bool default_sim_fusion();
+
+/// Process-default for SimParams::sim_pair_lookahead: CNI_SIM_PAIR_LOOKAHEAD,
+/// default on; `0`/`off` fall back to the single global lookahead bound.
+[[nodiscard]] bool default_sim_pair_lookahead();
 
 struct SimParams {
   std::uint64_t cpu_freq_hz = 166'000'000;  ///< Table 1: 166 MHz Alpha
@@ -30,11 +46,20 @@ struct SimParams {
   BoardKind board = BoardKind::kCni;
   /// Parallel-in-run simulation (DESIGN.md §12): 0 = legacy single-engine
   /// mode, K >= 1 = conservative sharded mode with K engine shards (clamped
-  /// to the processor count). Results in sharded mode are bit-identical for
-  /// every K; they may differ from legacy mode in the last digits, because
+  /// to the processor count), kAutoShards = tune K from the host core count.
+  /// Results in sharded mode are bit-identical for every K and epoch
+  /// schedule; they may differ from legacy mode in the last digits, because
   /// the sharded fabric resolves switch contention in head-arrival order
   /// rather than send-call order. Defaults from CNI_SIM_SHARDS.
   std::uint32_t sim_shards = default_sim_shards();
+  /// Epoch fusion (sharded mode only): extend barrier-free epochs through
+  /// sub-windows while no transfer needs the global merge. Artifacts are
+  /// identical either way. Defaults from CNI_SIM_FUSION (on).
+  bool sim_fusion = default_sim_fusion();
+  /// Per-shard-pair lookahead matrix for the epoch bound (sharded mode
+  /// only); off = single global window. Artifacts are identical either way.
+  /// Defaults from CNI_SIM_PAIR_LOOKAHEAD (on).
+  bool sim_pair_lookahead = default_sim_pair_lookahead();
 
   mem::CacheParams cache;     ///< 32 KB L1 / 1 MB L2, direct-mapped write-back
   mem::BusParams bus;         ///< 25 MHz, 4-cycle acquisition, 2 cycles/word

@@ -7,6 +7,14 @@
 namespace cni::sim {
 
 EventId Engine::schedule_at(SimTime t, Callback cb) {
+  return schedule_with_seq(t, seq_++, std::move(cb));
+}
+
+EventId Engine::schedule_delivery(SimTime t, Callback cb) {
+  return schedule_with_seq(t, kDeliverySeqBias + delivery_seq_++, std::move(cb));
+}
+
+EventId Engine::schedule_with_seq(SimTime t, std::uint64_t seq, Callback cb) {
   CNI_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
   if (heap_t_.empty()) {
     heap_t_.resize(kPad);
@@ -26,7 +34,7 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   Slot& sl = slots_[s];
   sl.cb = std::move(cb);
   heap_t_.push_back(t);
-  heap_seq_.push_back(seq_++);
+  heap_seq_.push_back(seq);
   heap_slot_.push_back(s);
   ++scheduled_;
   sift_up(static_cast<std::uint32_t>(heap_t_.size() - 1));  // physical index

@@ -72,6 +72,16 @@ class Engine {
   /// Schedules `cb` at now() + dt.
   EventId schedule_after(SimDuration dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
 
+  /// Schedules a network delivery at absolute time `t`. Deliveries draw their
+  /// tie-break sequence from a separate biased counter, so a delivery and a
+  /// node-local event scheduled for the same instant order by *content*
+  /// (local first, then delivery) — never by which epoch schedule happened to
+  /// insert the delivery earlier. The sharded fabric inserts deliveries in the
+  /// canonical (head, src, seq) order, so among deliveries the biased sequence
+  /// is itself schedule-independent; this is what keeps artifacts byte-equal
+  /// when epoch fusion changes *when* a drain runs (DESIGN.md §12).
+  EventId schedule_delivery(SimTime t, Callback cb);
+
   /// Cancels a pending event, removing it from the heap immediately.
   /// Cancelling an already-fired, already-cancelled or unknown event is a
   /// harmless no-op. Returns true iff a pending event was removed.
@@ -134,14 +144,22 @@ class Engine {
   /// bump makes any outstanding EventId for it stale.
   void release_slot(std::uint32_t s);
 
+  EventId schedule_with_seq(SimTime t, std::uint64_t seq, Callback cb);
+
   /// Removes heap_[i], refilling the hole from the back and re-sifting.
   void remove_at(std::uint32_t i);
 
   void sift_up(std::uint32_t i);
   bool sift_down(std::uint32_t i);  // returns true if the node moved
 
+  /// Delivery sequences live in the top half of the sequence space: a local
+  /// event (seq_ counter, starts at 0) can never collide with or sort after a
+  /// delivery scheduled for the same time unless 2^63 locals were scheduled.
+  static constexpr std::uint64_t kDeliverySeqBias = 1ull << 63;
+
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t delivery_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;

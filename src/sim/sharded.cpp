@@ -7,6 +7,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/units.hpp"
 
 namespace cni::sim {
 
@@ -32,32 +33,134 @@ std::uint32_t ShardPlan::count(std::uint32_t shard) const {
   return nodes / shards + (shard < nodes % shards ? 1 : 0);
 }
 
+bool ShardPlan::aligned() const {
+  // Equal blocks of power-of-two size: block s is [s*B, (s+1)*B) with B a
+  // power of two, so each block is exactly one upper-bits address class of
+  // the banyan's port space and the butterfly disjointness argument in the
+  // header applies. (shards itself need not be a power of two.)
+  return nodes > 0 && nodes % shards == 0 && util::is_pow2(nodes / shards);
+}
+
+SimTime next_epoch_end(std::span<const SimTime> t_next, const LookaheadMatrix& la,
+                       SimTime pending_min, const EpochParams& p) {
+  CNI_DCHECK(t_next.size() == la.shards);
+  SimTime best = sat_add(pending_min, p.pending_bound);
+  for (std::uint32_t r = 0; r < la.shards; ++r) {
+    if (t_next[r] == kNever) continue;  // no pending events: cannot emit traffic
+    const SimTime bound = sat_add(t_next[r], la.out_bound(r));
+    best = bound < best ? bound : best;
+  }
+  return best;
+}
+
 namespace {
 
 /// Logger time hook for worker threads: stamps with the shard's clock.
 std::uint64_t shard_now(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
 
-/// Coordinator/worker rendezvous for the epoch loop. The coordinator
-/// publishes the next window bound and bumps the generation (release);
-/// workers wake on the generation (acquire), run their shard, and count in
-/// (release); the coordinator waits until all counted in (acquire). Those
-/// two edges are the happens-before that makes every piece of per-epoch
-/// state — fabric outboxes, engine heaps, pooled frame buffers crossing
-/// shards — race-free without any per-object locking.
+/// Progress word value meaning "this shard executes nothing more this epoch".
+constexpr std::uint64_t kIdleWord = ~0ull;
+
+/// First sub-window whose local drain limit (start + drain_horizon) exceeds
+/// head `h`: the window at which the owning shard routes that transfer.
+std::uint64_t route_window(SimTime base, SimDuration window, SimDuration horizon,
+                           SimTime h) {
+  if (h < sat_add(base, horizon)) return 0;
+  return (h - base - horizon) / window + 1;
+}
+
+/// Shared body of one shard's fused epoch (run by workers and, for shard 0,
+/// by the coordinator). Sub-window j covers [start(j), start(j) + W). The
+/// protocol per window:
 ///
-/// Epochs in which no shard but 0 has work below the bound skip the
+///   1. publish a truthful skip to the first window holding any of our work
+///      (an event to execute, or a local transfer to route);
+///   2. wait until every peer's progress word >= j — peers then never again
+///      execute events below start(j), so (a) any send they still make is
+///      recorded with window >= j and (b) every local head < start(j) +
+///      drain_horizon is final;
+///   3. stop (without running) if the ledger's stop window <= j: the
+///      earliest recorded send's delivery can land at or after start(j),
+///      so the epoch must close with a real barrier drain first;
+///   4. route our own final local heads, run our events below start(j+1),
+///      publish progress j+1.
+///
+/// Step 2's acquire on each peer word pairs with the release in
+/// publish-progress, which in program order follows every note_send of that
+/// peer's windows < j: entering a window implies seeing every send that
+/// could stop it. Deliveries routed in step 4 land at or after start(j)
+/// (head >= start(j-1) + drain_horizon, plus the pending bound, spans one
+/// full window), never into an already-executed range.
+template <typename WaitPeers, typename Publish>
+void fused_shard_loop(Engine& eng, std::uint32_t shard, const FusedHooks& hooks,
+                      SimDuration drain_horizon, WaitPeers&& wait_peers,
+                      Publish&& publish) {
+  FusionLedger& led = *hooks.ledger;
+  const SimTime base = led.base();
+  const SimDuration w = led.window();
+  std::uint64_t completed = 0;
+  for (;;) {
+    const SimTime t_ev = eng.next_time();
+    const SimTime h_loc = hooks.local_min(shard);
+    if (t_ev == kNever && h_loc == kNever) {
+      publish(kIdleWord);
+      return;
+    }
+    std::uint64_t need = kIdleWord;
+    if (t_ev != kNever) need = led.window_of(t_ev);
+    if (h_loc != kNever) {
+      const std::uint64_t r = route_window(base, w, drain_horizon, h_loc);
+      need = r < need ? r : need;
+    }
+    std::uint64_t j = completed;
+    if (need > j) {
+      publish(completed = need);
+      j = need;
+    }
+    wait_peers(j);
+    if (led.stop_window() <= j) {
+      publish(kIdleWord);
+      return;
+    }
+    const SimTime start_j = base + j * w;
+    hooks.local_drain(shard, start_j + drain_horizon);
+    eng.run_before(start_j + w);
+    publish(completed = j + 1);
+  }
+}
+
+/// Coordinator/worker crew for the epoch loop. Commands are published with a
+/// single release on a generation word (the sense-reversing barrier's flag,
+/// generalized to a counter so it doubles as the epoch id); workers wake on
+/// it, run their shard, and each store the generation into a private, cache-
+/// line-padded arrival word (release). The coordinator scans the arrival
+/// words (acquire): those two edges are the happens-before making every
+/// piece of per-epoch state — fabric outboxes and local queues, engine
+/// heaps, pooled frame buffers crossing shards — race-free without locks,
+/// and no shard ever contends a shared counter cacheline at the barrier.
+///
+/// Normal epochs in which no shard but 0 has work below the bound skip the
 /// rendezvous entirely: the coordinator runs shard 0 inline while the
-/// workers stay parked in atomic::wait. Serialized phases of a workload
-/// (e.g. a DSM barrier draining through one node) therefore cost the same
-/// as the K = 1 inline path instead of K - 1 futex round-trips per window.
-/// Reading a parked shard's engine is safe: its worker is quiescent and the
-/// last rendezvous (or thread creation) ordered its writes before ours.
+/// workers stay parked in atomic::wait. Reading a parked shard's engine is
+/// safe: its worker is quiescent and the last rendezvous (or thread
+/// creation) ordered its writes before ours.
+///
+/// Fused epochs are one crew round whose body is fused_shard_loop: shards
+/// synchronize among themselves through the padded progress words and meet
+/// at a single closing barrier, however many sub-windows the epoch spanned.
 class EpochCrew {
  public:
-  EpochCrew(std::span<Engine* const> engines, EpochStats* stats)
+  enum class Cmd : std::uint8_t { kNormal, kFused, kStop };
+
+  EpochCrew(std::span<Engine* const> engines, const FusedHooks& hooks,
+            const EpochParams& params, EpochStats* stats)
       : engines_(engines),
+        hooks_(hooks),
+        drain_horizon_(params.drain_horizon),
         prev_events_(engines.size(), 0),
         errors_(engines.size()),
+        arrivals_(engines.size()),
+        progress_(engines.size()),
         stats_(stats) {
     threads_.reserve(engines.size() - 1);
     for (std::size_t s = 1; s < engines.size(); ++s) {
@@ -66,14 +169,12 @@ class EpochCrew {
   }
 
   ~EpochCrew() {
-    stop_.store(true, std::memory_order_relaxed);
-    gen_.fetch_add(1, std::memory_order_release);
-    gen_.notify_all();
+    publish_cmd(Cmd::kStop, 0);
     for (std::thread& t : threads_) t.join();
   }
 
-  /// Runs one epoch on every shard that has work (shard 0 inline) and
-  /// barriers. Returns false when any shard raised; the run must then stop.
+  /// One normal (single-window) epoch: every shard runs its events below
+  /// `bound`, then barriers. Returns false when any shard raised.
   bool run_epoch(SimTime bound) {
     bool remote_work = false;
     for (std::size_t s = 1; s < engines_.size(); ++s) {
@@ -83,25 +184,29 @@ class EpochCrew {
       }
     }
     if (remote_work) {
-      bound_.store(bound, std::memory_order_relaxed);
-      arrived_.store(0, std::memory_order_relaxed);
-      gen_.fetch_add(1, std::memory_order_release);
-      gen_.notify_all();
+      const std::uint64_t g = publish_cmd(Cmd::kNormal, bound);
       run_shard(0, bound);
-      const auto target = static_cast<std::uint32_t>(engines_.size() - 1);
-      for (std::uint32_t spins = 0;; ++spins) {
-        const std::uint32_t got = arrived_.load(std::memory_order_acquire);
-        if (got == target) break;
-        if (spins > 1024) arrived_.wait(got, std::memory_order_acquire);
-      }
+      await_workers(g);
+      if (stats_ != nullptr) ++stats_->barriers;
     } else {
       run_shard(0, bound);
     }
-    account_epoch();
-    for (const std::exception_ptr& e : errors_) {
-      if (e != nullptr) return false;
-    }
-    return true;
+    account_epoch(false);
+    return !any_error();
+  }
+
+  /// One fused epoch (the ledger must be freshly reset). Returns false when
+  /// any shard raised; otherwise *stop_out is the deterministic stop window
+  /// (kNoStop when the epoch ran everything dry).
+  bool run_fused(std::uint64_t* stop_out) {
+    for (Word& p : progress_) p.v.store(0, std::memory_order_relaxed);
+    const std::uint64_t g = publish_cmd(Cmd::kFused, 0);
+    run_fused_shard(0);
+    await_workers(g);
+    if (stats_ != nullptr) ++stats_->barriers;
+    account_epoch(true);
+    *stop_out = hooks_.ledger->stop_window();
+    return !any_error();
   }
 
   /// First error in shard order — deterministic regardless of which worker
@@ -114,6 +219,35 @@ class EpochCrew {
   }
 
  private:
+  struct alignas(64) Word {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  [[nodiscard]] bool any_error() const { return first_error() != nullptr; }
+
+  /// Coordinator-side: writes the command payload, then releases it with one
+  /// generation bump. Only called while every worker is parked (before the
+  /// first epoch, or after await_workers), so the plain payload fields are
+  /// ordered by the release/acquire pair on gen_.
+  std::uint64_t publish_cmd(Cmd cmd, SimTime bound) {
+    cmd_ = cmd;
+    bound_ = bound;
+    const std::uint64_t g = gen_.fetch_add(1, std::memory_order_release) + 1;
+    gen_.notify_all();
+    return g;
+  }
+
+  void await_workers(std::uint64_t g) {
+    for (std::size_t s = 1; s < engines_.size(); ++s) {
+      std::atomic<std::uint64_t>& word = arrivals_[s].v;
+      for (std::uint32_t spins = 0;; ++spins) {
+        const std::uint64_t got = word.load(std::memory_order_acquire);
+        if (got == g) break;
+        if (spins > 1024) word.wait(got, std::memory_order_acquire);
+      }
+    }
+  }
+
   void worker(std::size_t shard) {
     const util::ScopedLogTime log_time(&shard_now, engines_[shard]);
     std::uint64_t seen = 0;
@@ -124,10 +258,14 @@ class EpochCrew {
         if (++spins > 1024) gen_.wait(seen, std::memory_order_acquire);
       }
       seen = g;
-      if (stop_.load(std::memory_order_relaxed)) return;
-      run_shard(shard, bound_.load(std::memory_order_relaxed));
-      arrived_.fetch_add(1, std::memory_order_release);
-      arrived_.notify_one();
+      if (cmd_ == Cmd::kStop) return;
+      if (cmd_ == Cmd::kNormal) {
+        run_shard(shard, bound_);
+      } else {
+        run_fused_shard(shard);
+      }
+      arrivals_[shard].v.store(seen, std::memory_order_release);
+      arrivals_[shard].v.notify_all();
     }
   }
 
@@ -140,11 +278,51 @@ class EpochCrew {
     }
   }
 
+  void run_fused_shard(std::size_t shard) {
+    if (errors_[shard] != nullptr) {
+      publish_progress(shard, kIdleWord);
+      return;
+    }
+    const auto sh = static_cast<std::uint32_t>(shard);
+    try {
+      fused_shard_loop(
+          *engines_[shard], sh, hooks_, drain_horizon_,
+          [this, shard](std::uint64_t j) { wait_peers(shard, j); },
+          [this, shard](std::uint64_t c) { publish_progress(shard, c); });
+    } catch (...) {
+      errors_[shard] = std::current_exception();
+      // Abort path: stop peers at the next window they enter and unblock
+      // anyone waiting on our progress. Determinism no longer matters — the
+      // run rethrows — only prompt, deadlock-free termination does.
+      hooks_.ledger->note_send(hooks_.ledger->base());
+      publish_progress(shard, kIdleWord);
+    }
+  }
+
+  void wait_peers(std::size_t self, std::uint64_t j) {
+    for (std::size_t p = 0; p < progress_.size(); ++p) {
+      if (p == self) continue;
+      std::atomic<std::uint64_t>& word = progress_[p].v;
+      for (std::uint32_t spins = 0;; ++spins) {
+        const std::uint64_t c = word.load(std::memory_order_acquire);
+        if (c >= j) break;
+        if (spins > 1024) word.wait(c, std::memory_order_acquire);
+      }
+    }
+  }
+
+  void publish_progress(std::size_t shard, std::uint64_t completed) {
+    std::atomic<std::uint64_t>& word = progress_[shard].v;
+    word.store(completed, std::memory_order_release);
+    word.notify_all();
+  }
+
   /// Coordinator-side: every engine is quiescent at the barrier, so the
   /// per-epoch deltas (and the busiest shard) are computed race-free here.
-  void account_epoch() {
+  void account_epoch(bool fused) {
     if (stats_ == nullptr) return;
     ++stats_->epochs;
+    if (fused) ++stats_->fused_epochs;
     std::uint64_t busiest = 0;
     for (std::size_t s = 0; s < engines_.size(); ++s) {
       const std::uint64_t total = engines_[s]->events_executed();
@@ -157,63 +335,103 @@ class EpochCrew {
   }
 
   std::span<Engine* const> engines_;
+  FusedHooks hooks_;
+  SimDuration drain_horizon_;
   std::vector<std::uint64_t> prev_events_;  // coordinator-only, see account_epoch
   std::vector<std::exception_ptr> errors_;
+  std::vector<Word> arrivals_;  // per-shard padded barrier arrival words
+  std::vector<Word> progress_;  // per-shard padded fused-window progress
   EpochStats* stats_;
   std::atomic<std::uint64_t> gen_{0};
-  std::atomic<SimTime> bound_{0};
-  std::atomic<std::uint32_t> arrived_{0};
-  std::atomic<bool> stop_{false};
+  // Command payload: written by the coordinator only while workers are
+  // parked, read by workers after the acquire on gen_ — plain fields.
+  Cmd cmd_ = Cmd::kNormal;
+  SimTime bound_ = 0;
   std::vector<std::thread> threads_;
 };
 
-/// K = 1 degenerates to the same epoch/drain algorithm with no threads, no
-/// atomics and no barrier cost — the canonical schedule is identical, only
-/// the execution is inline. This is what keeps single-shard runs within
-/// noise of the legacy sequential engine.
-void run_epochs_inline(Engine& engine, const EpochParams& params,
+/// K = 1 degenerates to the same epoch/fusion algorithm with no threads, no
+/// atomics and no barrier cost — fused epochs become a plain sub-window loop
+/// (drain own locals, run one window) and normal epochs the classic
+/// drain/run cycle. This is what keeps single-shard runs within noise of —
+/// now measurably ahead of — the legacy sequential engine.
+void run_epochs_inline(Engine& engine, const EpochParams& params, const FusedHooks& hooks,
                        util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
   SimTime epoch_end = 0;
   for (;;) {
     const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
     const SimTime t_min = engine.next_time();
     if (t_min == kNever && pending_min == kNever) return;
-    const SimTime next = next_epoch_end(t_min, pending_min, params);
-    CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
     const std::uint64_t before = engine.events_executed();
-    engine.run_before(next);
-    if (stats != nullptr) {
-      const std::uint64_t n = engine.events_executed() - before;
-      ++stats->epochs;
-      stats->events_total += n;
-      stats->critical_path_events += n;
+    if (hooks.ledger != nullptr && pending_min == kNever) {
+      FusionLedger& led = *hooks.ledger;
+      led.reset(t_min, params.lookahead);
+      fused_shard_loop(engine, 0, hooks, params.drain_horizon,
+                       [](std::uint64_t) {}, [](std::uint64_t) {});
+      const std::uint64_t stop = led.stop_window();
+      if (stop != FusionLedger::kNoStop) {
+        epoch_end = sat_add(led.base(), stop * led.window());
+      }
+      if (stats != nullptr) {
+        const std::uint64_t n = engine.events_executed() - before;
+        ++stats->epochs;
+        ++stats->fused_epochs;
+        stats->events_total += n;
+        stats->critical_path_events += n;
+      }
+    } else {
+      const SimTime next = next_epoch_end(t_min, pending_min, params);
+      CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
+      engine.run_before(next);
+      if (stats != nullptr) {
+        const std::uint64_t n = engine.events_executed() - before;
+        ++stats->epochs;
+        stats->events_total += n;
+        stats->critical_path_events += n;
+      }
+      epoch_end = next;
     }
-    epoch_end = next;
   }
 }
 
 }  // namespace
 
 void run_epochs(std::span<Engine* const> engines, const EpochParams& params,
+                const LookaheadMatrix* matrix, const FusedHooks& hooks,
                 util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
   CNI_CHECK_MSG(!engines.empty(), "run_epochs needs at least one shard");
   CNI_CHECK_MSG(params.lookahead > 0 && params.drain_horizon > 0 && params.pending_bound > 0,
                 "epoch margins must be positive for the scheduler to advance");
   if (engines.size() == 1) {
-    run_epochs_inline(*engines[0], params, drain, stats);
+    run_epochs_inline(*engines[0], params, hooks, drain, stats);
     return;
   }
-  EpochCrew crew(engines, stats);
+  EpochCrew crew(engines, hooks, params, stats);
+  std::vector<SimTime> t_next(engines.size(), kNever);
   SimTime epoch_end = 0;
   for (;;) {
     const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
     SimTime t_min = kNever;
-    for (Engine* const e : engines) {
-      const SimTime t = e->next_time();
-      t_min = t < t_min ? t : t_min;
+    for (std::size_t s = 0; s < engines.size(); ++s) {
+      t_next[s] = engines[s]->next_time();
+      t_min = t_next[s] < t_min ? t_next[s] : t_min;
     }
     if (t_min == kNever && pending_min == kNever) return;
-    const SimTime next = next_epoch_end(t_min, pending_min, params);
+    if (hooks.ledger != nullptr && pending_min == kNever) {
+      // Nothing is buffered anywhere (drain just flushed local queues too):
+      // fuse. The epoch ends at the deterministic stop window — or runs the
+      // whole remaining simulation if no shard ever needs the global merge.
+      hooks.ledger->reset(t_min, params.lookahead);
+      std::uint64_t stop = FusionLedger::kNoStop;
+      if (!crew.run_fused(&stop)) break;
+      if (stop != FusionLedger::kNoStop) {
+        epoch_end = sat_add(t_min, stop * params.lookahead);
+      }
+      continue;
+    }
+    const SimTime next = matrix != nullptr
+                             ? next_epoch_end(t_next, *matrix, pending_min, params)
+                             : next_epoch_end(t_min, pending_min, params);
     CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
     if (!crew.run_epoch(next)) break;
     epoch_end = next;

@@ -1,0 +1,22 @@
+// Fixture: the epoch crew must never read or wait on host time. A timed
+// backoff in the barrier would hide lost wakeups and couple the epoch
+// schedule to host jitter. A direct wall-clock read fires the generic
+// determinism rule too — both are expected.
+// lint-expect: sharded-wall-clock
+// lint-expect: determinism
+#include <chrono>
+#include <thread>
+
+void fixture_timed_backoff() {
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+long fixture_spin_deadline() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void fixture_allowed_pause() {
+  // cni-lint: allow(sharded-wall-clock): fixture's sanctioned example of a
+  // justified suppression hook
+  std::this_thread::sleep_for(std::chrono::microseconds(1));
+}

@@ -88,6 +88,113 @@ TEST(EpochMath, NextEpochEndTakesTheTighterBound) {
   EXPECT_EQ(sim::next_epoch_end(sim::kNever, 900, p), 1550u);
 }
 
+/// Uniform all-pairs matrix with `l` everywhere off the diagonal — the shape
+/// atm::Fabric exports for the single-stage banyan.
+sim::LookaheadMatrix uniform_matrix(std::uint32_t shards, sim::SimDuration l) {
+  sim::LookaheadMatrix m;
+  m.shards = shards;
+  m.entries.assign(static_cast<std::size_t>(shards) * shards, l);
+  for (std::uint32_t r = 0; r < shards; ++r) {
+    m.entries[static_cast<std::size_t>(r) * shards + r] =
+        sim::LookaheadMatrix::kUnbounded;
+  }
+  return m;
+}
+
+sim::EpochParams fabric_epoch_params() {
+  sim::EpochParams p;
+  p.lookahead = 800;
+  p.drain_horizon = 150;
+  p.pending_bound = 650;
+  return p;
+}
+
+TEST(EpochMath, MatrixBoundMatchesGlobalForUniformMatrix) {
+  const sim::EpochParams p = fabric_epoch_params();
+  const sim::LookaheadMatrix m = uniform_matrix(3, p.lookahead);
+  const sim::SimTime t_next[] = {1200, 1000, 4000};
+  EXPECT_EQ(sim::next_epoch_end(t_next, m, sim::kNever, p),
+            sim::next_epoch_end(1000, sim::kNever, p));
+  EXPECT_EQ(sim::next_epoch_end(t_next, m, 900, p),
+            sim::next_epoch_end(1000, 900, p));
+}
+
+TEST(EpochMath, MatrixBoundSkipsIdleShardsAndSaturatesAtNever) {
+  const sim::EpochParams p = fabric_epoch_params();
+  const sim::LookaheadMatrix m = uniform_matrix(2, p.lookahead);
+  // All shards idle, one buffered transfer: only the pending bound binds.
+  const sim::SimTime idle[] = {sim::kNever, sim::kNever};
+  EXPECT_EQ(sim::next_epoch_end(idle, m, 900, p), 1550u);
+  // Nothing anywhere: the epoch loop is about to terminate.
+  EXPECT_EQ(sim::next_epoch_end(idle, m, sim::kNever, p), sim::kNever);
+  // An idle shard stays out of the minimum entirely.
+  const sim::SimTime one_busy[] = {1000, sim::kNever};
+  EXPECT_EQ(sim::next_epoch_end(one_busy, m, sim::kNever, p), 1800u);
+  // Event times near kNever saturate instead of wrapping.
+  const sim::SimTime huge[] = {sim::kNever - 3, sim::kNever};
+  EXPECT_EQ(sim::next_epoch_end(huge, m, sim::kNever, p), sim::kNever);
+}
+
+TEST(EpochMath, MatrixBoundUsesPerShardOutgoingLookahead) {
+  const sim::EpochParams p = fabric_epoch_params();
+  // Shard 1 is "far": whatever it emits takes 5000 to land anywhere, so its
+  // imminent event must not shrink the window below shard 0's own bound.
+  sim::LookaheadMatrix m = uniform_matrix(2, p.lookahead);
+  m.entries[1 * 2 + 0] = 5000;
+  const sim::SimTime t_next[] = {2000, 1000};
+  EXPECT_EQ(m.out_bound(0), 800u);
+  EXPECT_EQ(m.out_bound(1), 5000u);
+  EXPECT_EQ(sim::next_epoch_end(t_next, m, sim::kNever, p), 2800u);
+}
+
+TEST(FusionLedger, StopWindowIsOnePastEarliestRecordedSend) {
+  sim::FusionLedger led;
+  led.reset(1000, 800);
+  EXPECT_EQ(led.stop_window(), sim::FusionLedger::kNoStop);
+  EXPECT_EQ(led.window_of(999), 0u);  // at or before base
+  EXPECT_EQ(led.window_of(1000), 0u);
+  EXPECT_EQ(led.window_of(1800), 1u);
+  led.note_send(2700);  // window 2
+  EXPECT_EQ(led.stop_window(), 3u);
+  led.note_send(1100);  // window 0: atomic-min tightens the stop
+  EXPECT_EQ(led.stop_window(), 1u);
+  led.note_send(5000);  // a later send can never loosen it again
+  EXPECT_EQ(led.stop_window(), 1u);
+  led.reset(2000, 800);  // re-arming clears the record
+  EXPECT_EQ(led.stop_window(), sim::FusionLedger::kNoStop);
+}
+
+TEST(LookaheadMatrix, FabricExportIsSymmetricBoundedWithUnboundedDiagonal) {
+  sim::Engine eng;
+  atm::FabricParams fp;
+  atm::Fabric fabric(eng, fp);
+  for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    const sim::ShardPlan plan = sim::ShardPlan::balanced(16, shards);
+    const sim::LookaheadMatrix m = fabric.lookahead_matrix(plan);
+    ASSERT_EQ(m.shards, plan.shards);
+    ASSERT_EQ(m.entries.size(),
+              static_cast<std::size_t>(plan.shards) * plan.shards);
+    for (std::uint32_t r = 0; r < m.shards; ++r) {
+      for (std::uint32_t c = 0; c < m.shards; ++c) {
+        if (r == c) {
+          EXPECT_EQ(m.at(r, c), sim::LookaheadMatrix::kUnbounded)
+              << "intra-shard causality never bounds the epoch";
+        } else {
+          EXPECT_GT(m.at(r, c), 0u);
+          EXPECT_LE(m.at(r, c), fabric.min_lookahead())
+              << "no pair may claim more slack than the global bound";
+          EXPECT_EQ(m.at(r, c), m.at(c, r)) << "pair lookahead is symmetric";
+        }
+      }
+      if (m.shards > 1) {
+        EXPECT_LE(m.out_bound(r), fabric.min_lookahead());
+      } else {
+        EXPECT_EQ(m.out_bound(r), sim::LookaheadMatrix::kUnbounded);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Canonical drain order
 
@@ -109,7 +216,8 @@ struct ShardedFabricFixture {
     eng.resize(params.switch_ports, nullptr);
     std::vector<std::uint32_t> shard = {0, 0, 1, 1};
     shard.resize(params.switch_ports, 0);
-    fabric.enable_sharding(std::move(eng), std::move(shard), 2);
+    fabric.enable_sharding(std::move(eng), std::move(shard),
+                           sim::ShardPlan::balanced(4, 2), nullptr);
   }
 
   atm::Frame frame(atm::NodeId src, atm::NodeId dst) const {
@@ -222,10 +330,20 @@ TEST(ParsimDeterminism, RandomizedRunsAreByteIdenticalAcrossShardCounts) {
     params.obs.trace = true;  // exercise trace-export identity too
     params.sim_shards = 1;
     const std::string base = run_fingerprint(params, config);
-    for (const std::uint32_t k : {2u, 4u}) {
-      params.sim_shards = k;
-      EXPECT_EQ(base, run_fingerprint(params, config))
-          << "trial " << trial << " diverged at K=" << k;
+    // The knob matrix: epoch fusion and the per-pair lookahead bound change
+    // the epoch schedule, never the bytes — every combination at every K
+    // must reproduce the K=1 fingerprint exactly.
+    for (const bool fuse : {false, true}) {
+      for (const bool pair : {false, true}) {
+        for (const std::uint32_t k : {1u, 2u, 4u}) {
+          params.sim_shards = k;
+          params.sim_fusion = fuse;
+          params.sim_pair_lookahead = pair;
+          EXPECT_EQ(base, run_fingerprint(params, config))
+              << "trial " << trial << " diverged at K=" << k
+              << " fusion=" << fuse << " pair_lookahead=" << pair;
+        }
+      }
     }
   }
 }
@@ -273,10 +391,41 @@ TEST(ParsimCluster, EpochStatsAreConsistent) {
   EXPECT_GE(r.parsim.events_total, r.parsim.critical_path_events);
   EXPECT_GE(r.parsim.critical_path_events, r.parsim.epochs)
       << "every epoch's busiest shard ran at least one event";
+  EXPECT_LE(r.parsim.fused_epochs, r.parsim.epochs);
+  EXPECT_LE(r.parsim.barriers, r.parsim.epochs)
+      << "an epoch pays at most one full rendezvous";
+
+  // K = 1 runs inline: same epoch algorithm, no rendezvous ever.
+  params.sim_shards = 1;
+  EXPECT_EQ(apps::run_jacobi(params, config).parsim.barriers, 0u);
 
   // Legacy mode reports zeros.
   params.sim_shards = 0;
   EXPECT_EQ(apps::run_jacobi(params, config).parsim.epochs, 0u);
+}
+
+TEST(ParsimCluster, FusionShrinksTheEpochScheduleWithoutChangingResults) {
+  apps::JacobiConfig config;
+  config.n = 16;
+  config.iterations = 2;
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.sim_shards = 4;
+  params.sim_fusion = false;
+  params.sim_pair_lookahead = false;  // the PR-5 epoch schedule
+  const apps::RunResult off = apps::run_jacobi(params, config);
+  EXPECT_EQ(off.parsim.fused_epochs, 0u) << "fusion off must never fuse";
+
+  params.sim_fusion = true;
+  params.sim_pair_lookahead = true;
+  const apps::RunResult on = apps::run_jacobi(params, config);
+  EXPECT_EQ(on.elapsed_cycles, off.elapsed_cycles)
+      << "the epoch schedule must be invisible in simulated results";
+  EXPECT_EQ(on.parsim.events_total, off.parsim.events_total);
+  EXPECT_GT(on.parsim.fused_epochs, 0u)
+      << "the opening epoch has nothing buffered and must fuse";
+  EXPECT_LT(on.parsim.epochs, off.parsim.epochs)
+      << "fusion must reduce the epoch count on a run with compute phases";
+  EXPECT_LE(on.parsim.barriers, on.parsim.epochs);
 }
 
 TEST(ParsimCluster, DeadlockIsDiagnosedInShardedMode) {
