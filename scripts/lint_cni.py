@@ -10,9 +10,12 @@ checks the three that matter most (see DESIGN.md section 9):
                   in src/.
   hot-path-alloc  src/sim, src/core, src/atm, src/nic, src/dsm and src/obs
                   are the per-event hot paths. Node containers
-                  (std::unordered_map/set), type-erased heap callables
-                  (std::function) and raw `new` are banned there; use
-                  util::U64FlatMap and sim::InlineFn (DESIGN.md §8).
+                  (std::unordered_map/set) are banned there; use
+                  util::U64FlatMap (DESIGN.md §8). The std::function and
+                  raw-new halves of this rule moved to the AST-grounded
+                  scripts/analyze_cni.py (same rule name, so allow()
+                  comments carry over), which flags the actual allocating
+                  expressions instead of the tokens.
   payload-copy    Frame/diff payloads live in pooled util::Buf storage and
                   travel by refcount (DESIGN.md §10). Declaring a
                   std::vector<std::byte> in a data-path directory almost
@@ -39,9 +42,10 @@ checks the three that matter most (see DESIGN.md section 9):
                   (which only bans the clock types that read wall time):
                   here even reading a duration type is suspect.
 
-Plus an include-hygiene pass (--include-hygiene): every header under src/
+Plus an include-hygiene pass (skipped by --fast): every header under src/
 must compile on its own, verified by generating a one-line TU per header
-and running the compiler in syntax-only mode.
+and running the compiler in syntax-only mode, under the include/define/std
+flags of the real build read from compile_commands.json (fallback: -I src).
 
 Suppression: a finding is silenced by an annotation on the same line or in
 the contiguous comment block immediately above it, with a reason:
@@ -57,8 +61,10 @@ ctest so the linter itself is tier-1 tested.
 """
 
 import argparse
+import json
 import os
 import re
+import shlex
 import shutil
 import subprocess
 import sys
@@ -84,12 +90,14 @@ DETERMINISM_PATTERNS = [
      "std::chrono wall clocks"),
 ]
 
+# Token-level hot-path bans only. The std::function and raw-new rules moved
+# to scripts/analyze_cni.py, which checks the actual AST expressions
+# (constructions and new-expressions, seeing through aliases and macros)
+# under the same rule name "hot-path-alloc" — existing cni-lint allow()
+# comments keep working there unchanged.
 HOT_PATH_PATTERNS = [
     (re.compile(r"\bstd\s*::\s*unordered_(?:map|set)\b"),
      "std::unordered_map/set (use util::U64FlatMap)"),
-    (re.compile(r"\bstd\s*::\s*function\b"), "std::function (use sim::InlineFn)"),
-    (re.compile(r"(?<![\w.])\bnew\b(?!\s*\()|(?<![\w.])\bnew\s*\("),
-     "raw new (allocation on the per-event path)"),
 ]
 
 PAYLOAD_COPY_PATTERN = re.compile(r"\bstd\s*::\s*vector\s*<\s*std\s*::\s*byte\s*>")
@@ -330,7 +338,57 @@ def find_compiler():
     return None
 
 
-def check_include_hygiene(root, findings, headers=None):
+def compile_db_flags(root, build_dir=None):
+    """Include/define/standard flags for the hygiene TUs, read from the
+    build's compile_commands.json so the pass checks headers under the same
+    -I/-isystem/-D/-std the real build uses. Falls back to the historical
+    `-std=c++20 -I <root>/src` when no database exists (fresh checkout,
+    fixture trees)."""
+    candidates = []
+    if build_dir:
+        candidates.append(os.path.join(build_dir, "compile_commands.json"))
+    elif os.path.isdir(root):
+        for name in sorted(os.listdir(root)):
+            candidates.append(os.path.join(root, name, "compile_commands.json"))
+    for db_path in candidates:
+        if not os.path.isfile(db_path):
+            continue
+        try:
+            with open(db_path, encoding="utf-8") as f:
+                db = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        for entry in db:
+            path = os.path.normpath(os.path.join(entry.get("directory", "."),
+                                                 entry.get("file", "")))
+            if os.sep + "src" + os.sep not in path:
+                continue
+            argv = entry.get("arguments") or shlex.split(entry.get("command", ""))
+            cwd = entry.get("directory", ".")
+            flags = []
+            i = 1
+            while i < len(argv):
+                a = argv[i]
+                if a in ("-I", "-isystem", "-iquote"):
+                    if i + 1 < len(argv):
+                        flags += [a, os.path.normpath(
+                            os.path.join(cwd, argv[i + 1]))]
+                    i += 2
+                elif a.startswith("-I") and len(a) > 2:
+                    flags.append("-I" + os.path.normpath(
+                        os.path.join(cwd, a[2:])))
+                    i += 1
+                elif a.startswith(("-D", "-U", "-std=")):
+                    flags.append(a)
+                    i += 1
+                else:
+                    i += 1
+            if flags:
+                return flags
+    return ["-std=c++20", "-I", os.path.join(root, "src")]
+
+
+def check_include_hygiene(root, findings, headers=None, build_dir=None):
     """Every header must be self-sufficient: a TU containing only that
     #include must compile. Catches headers leaning on transitive includes."""
     cxx = find_compiler()
@@ -341,7 +399,7 @@ def check_include_hygiene(root, findings, headers=None):
     if headers is None:
         headers = [f for f in iter_source_files(root)
                    if f.endswith((".hpp", ".h"))]
-    incdir = os.path.join(root, "src")
+    flags = compile_db_flags(root, build_dir)
     with tempfile.TemporaryDirectory() as tmp:
         for rel in headers:
             rel_fs = rel.replace(os.sep, "/")
@@ -350,7 +408,7 @@ def check_include_hygiene(root, findings, headers=None):
             with open(tu, "w", encoding="utf-8") as f:
                 f.write(f'#include "{include_name}"\n')
             proc = subprocess.run(
-                [cxx, "-std=c++20", "-fsyntax-only", "-I", incdir, tu],
+                [cxx, *flags, "-fsyntax-only", tu],
                 capture_output=True, text=True, check=False)
             if proc.returncode != 0:
                 first_err = next(
@@ -410,6 +468,10 @@ def main():
                     help="repo root (default: parent of this script)")
     ap.add_argument("--fast", action="store_true",
                     help="skip the include-hygiene compile pass")
+    ap.add_argument("--build-dir", default=None,
+                    help="build dir whose compile_commands.json supplies the "
+                         "include-hygiene flags (default: any "
+                         "<root>/*/compile_commands.json; fallback -I src)")
     ap.add_argument("--self-test", action="store_true",
                     help="lint the fixture tree and check expected findings")
     args = ap.parse_args()
@@ -424,7 +486,7 @@ def main():
     for rel in iter_source_files(root):
         lint_file(root, rel, findings)
     if not args.fast:
-        check_include_hygiene(root, findings)
+        check_include_hygiene(root, findings, build_dir=args.build_dir)
 
     for f in findings:
         print(f)

@@ -67,6 +67,10 @@ void Fabric::enable_sharding(std::vector<sim::Engine*> engine_of_node,
   CNI_CHECK_MSG(frames_sent() == 0, "cannot enable sharding after traffic started");
   CNI_CHECK(engine_of_node.size() == hooks_.size() &&
             shard_of_node.size() == hooks_.size() && plan.shards >= 1);
+  // Held by protocol: sharding is enabled once at cluster setup, before any
+  // worker thread exists, so the setup thread owns every role.
+  barrier_role.assert_held();
+  lane_role.assert_held();
   sharded_ = true;
   aligned_ = plan.aligned();
   shards_ = plan.shards;
@@ -113,6 +117,9 @@ sim::SimTime Fabric::route_and_schedule(sim::SimTime head, sim::SimDuration burs
 }
 
 DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
+  // Held by protocol: a send executes on the sending node's owning shard
+  // (its events live on that shard's engine); legacy mode is one thread.
+  lane_role.assert_held();
   const NodeId src = frame.src;
   const NodeId dst = frame.dst;
   CNI_CHECK(src < hooks_.size() && dst < hooks_.size());
@@ -177,6 +184,8 @@ void Fabric::merge_lane(Lane& l) {
 }
 
 sim::SimTime Fabric::local_pending_min(std::uint32_t shard) const {
+  // Held by protocol: only `shard`'s own thread asks for its local minimum.
+  lane_role.assert_shared();
   const Lane& l = lanes_[shard];
   sim::SimTime m = l.fresh_min;
   if (l.pos < l.sorted.size() && l.sorted[l.pos].head < m) m = l.sorted[l.pos].head;
@@ -184,6 +193,9 @@ sim::SimTime Fabric::local_pending_min(std::uint32_t shard) const {
 }
 
 sim::SimTime Fabric::local_drain(std::uint32_t shard, sim::SimTime limit) {
+  // Held by protocol: the fused loop invokes this hook only on the owning
+  // shard's thread, for that shard's lane.
+  lane_role.assert_held();
   Lane& l = lanes_[shard];
   if (l.fresh_min < limit) merge_lane(l);
   while (l.pos < l.sorted.size() && l.sorted[l.pos].head < limit) {
@@ -199,6 +211,11 @@ sim::SimTime Fabric::local_drain(std::uint32_t shard, sim::SimTime limit) {
 }
 
 sim::SimTime Fabric::drain(sim::SimTime limit) {
+  // Held by protocol: drains run between epochs, when every worker is
+  // parked at the barrier — which is also what confers every shard's lane
+  // on the coordinator.
+  barrier_role.assert_held();
+  lane_role.assert_held();
   // Flush every outbox and every shard-local queue into one batch, then fold
   // it into the pending set with a single size-reserved merge: per epoch,
   // one sort of the new transfers and one linear merge — no per-transfer

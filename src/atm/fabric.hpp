@@ -17,6 +17,7 @@
 #include "sim/engine.hpp"
 #include "sim/sharded.hpp"
 #include "sim/time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cni::atm {
 
@@ -64,6 +65,22 @@ class Fabric {
   using DeliveryHook = std::function<void(Frame)>;
 
   Fabric(sim::Engine& engine, const FabricParams& params);
+
+  // ---- Protocol roles (Clang thread-safety capabilities, DESIGN.md §13) --
+  //
+  // The fabric has no locks; its sharded-mode safety argument is ownership:
+  // send-side state belongs to the sending node's shard during an epoch, the
+  // merged pending set belongs to the coordinator at barriers. The two roles
+  // are public so the epoch machinery (cluster.cpp's drain hooks) can assert
+  // the role its protocol position confers.
+
+  /// Owning-shard role: held (by protocol) while executing a shard's events
+  /// — sends, local drains. The barrier also confers it on the coordinator,
+  /// since every shard is parked there.
+  util::Capability lane_role;
+  /// Coordinator role: held between epochs and at barriers, when exactly one
+  /// thread runs. Guards the merged pending set and drain scratch.
+  util::Capability barrier_role;
 
   [[nodiscard]] const FabricParams& params() const { return params_; }
   [[nodiscard]] const CellGeometry& cells() const { return geometry_; }
@@ -161,10 +178,10 @@ class Fabric {
   /// (sound: barrier drains never run concurrently with anything, and local
   /// drains of different shards touch disjoint resources).
   sim::SimTime route_and_schedule(sim::SimTime head, sim::SimDuration burst, Frame frame,
-                                  std::uint32_t lane);
+                                  std::uint32_t lane) CNI_REQUIRES(lane_role);
 
   /// Folds a lane's fresh appends into its sorted queue (canonical order).
-  void merge_lane(Lane& lane);
+  void merge_lane(Lane& lane) CNI_REQUIRES(lane_role);
 
   sim::Engine& engine_;
   FabricParams params_;
@@ -183,13 +200,19 @@ class Fabric {
   sim::FusionLedger* ledger_ = nullptr;
   std::vector<sim::Engine*> engine_of_node_;
   std::vector<std::uint32_t> shard_of_node_;
-  std::vector<std::uint64_t> send_seq_;              // per source node
-  std::vector<std::vector<WireTransfer>> outboxes_;  // per source shard
-  std::vector<Lane> lanes_;                          // per shard; lane 0 in legacy
-  std::vector<WireTransfer> pending_;                // merged, canonical order
-  std::size_t pending_pos_ = 0;                      // routed prefix of pending_
-  std::vector<WireTransfer> batch_;                  // drain scratch
-  std::vector<WireTransfer> merged_;                 // drain scratch
+  // per source node
+  std::vector<std::uint64_t> send_seq_ CNI_GUARDED_BY(lane_role);
+  // per source shard
+  std::vector<std::vector<WireTransfer>> outboxes_ CNI_GUARDED_BY(lane_role);
+  // Per shard; lane 0 in legacy mode. Unguarded on purpose: element s is
+  // per-shard state like outboxes_, but frames_sent()/cells_sent() read all
+  // lanes role-free at quiescence (per-element guarding is beyond the
+  // annotation language — merge_lane/local_drain's REQUIRES carry it).
+  std::vector<Lane> lanes_;
+  std::vector<WireTransfer> pending_ CNI_GUARDED_BY(barrier_role);  // canonical order
+  std::size_t pending_pos_ CNI_GUARDED_BY(barrier_role) = 0;  // routed prefix
+  std::vector<WireTransfer> batch_ CNI_GUARDED_BY(barrier_role);   // drain scratch
+  std::vector<WireTransfer> merged_ CNI_GUARDED_BY(barrier_role);  // drain scratch
 };
 
 }  // namespace cni::atm

@@ -43,6 +43,8 @@ AdcChannel* CniBoard::open_channel(mem::VAddr region_base, std::uint64_t region_
   auto ch = AdcChannel::open(board_mem_, static_cast<std::uint32_t>(channels_.size()),
                              region_base, region_len, config_.adc_slots);
   if (!ch.has_value()) return nullptr;
+  // cni-lint: allow(hot-path-alloc): channels open at application setup
+  // (one per exported region), not per message.
   channels_.push_back(std::make_unique<AdcChannel>(std::move(*ch)));
   return channels_.back().get();
 }

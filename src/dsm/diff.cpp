@@ -66,6 +66,12 @@ Diff Diff::deserialize(ByteReader& r) {
   d.writer = r.u32();
   d.vc = r.clock();
   const std::uint32_t n = r.u32();
+  // Bounds before allocation: a run costs at least 8 wire bytes (offset +
+  // length prefix), so a count the payload cannot hold is malformed and
+  // must not size the vector.
+  if (std::uint64_t{n} * 8 > r.remaining()) {
+    throw WireError("truncated DSM payload: diff run count");
+  }
   d.runs.reserve(n);
   if (r.backing()) {
     // Zero-copy: the runs alias the received frame's payload buffer, pinned

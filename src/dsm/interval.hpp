@@ -8,6 +8,7 @@
 // "lazy invalidate" protocol the paper runs, after Keleher et al.).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -39,6 +40,11 @@ struct Interval {
     iv.index = r.u32();
     iv.vc = r.clock();
     const std::uint32_t n = r.u32();
+    // Bounds before allocation: each page id is 8 wire bytes, so a count
+    // the remaining payload cannot hold must not size the vector.
+    if (std::uint64_t{n} * 8 > r.remaining()) {
+      throw WireError("truncated DSM payload: interval page count");
+    }
     iv.pages.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) iv.pages.push_back(r.u64());
     return iv;
@@ -76,6 +82,11 @@ class IntervalStore {
   /// (writer, index) order.
   [[nodiscard]] std::vector<const Interval*> unseen_by(const VectorClock& seen) const {
     std::vector<const Interval*> out;
+    std::size_t n = 0;
+    for (const auto& [w, log] : per_writer_) {
+      n += log.size() - std::min<std::size_t>(log.size(), seen[w]);
+    }
+    out.reserve(n);
     for (const auto& [w, log] : per_writer_) {
       for (std::size_t i = seen[w]; i < log.size(); ++i) out.push_back(&log[i]);
     }

@@ -75,8 +75,14 @@ DsmRuntime::DsmRuntime(DsmSystem& system, std::uint32_t self)
 void DsmRuntime::install_handlers() {
   auto& board = node_.board();
   const std::uint64_t code = sys_.params().handler_code_bytes;
+  // h returns the board's owning Handler type directly, so the one
+  // std::function conversion per handler happens here and the call sites
+  // below move the finished Handler into the board's table.
   auto h = [this](void (DsmRuntime::*fn)(Ctx&, const atm::Frame&)) {
-    return [this, fn](Ctx& ctx, const atm::Frame& f) { (this->*fn)(ctx, f); };
+    // cni-lint: allow(hot-path-alloc): handler registration at setup — ten
+    // conversions per node per run, never on the per-message path.
+    return nic::NicBoard::Handler(
+        [this, fn](Ctx& ctx, const atm::Frame& f) { (this->*fn)(ctx, f); });
   };
   board.install_handler(kDsmLockReq, h(&DsmRuntime::on_lock_req), code);
   board.install_handler(kDsmLockFwd, h(&DsmRuntime::on_lock_fwd), code);
@@ -746,6 +752,7 @@ void DsmRuntime::on_diff_req(Ctx& ctx, const atm::Frame& f) {
   // modifications and intervals beyond the target stay local.
   PageEntry& e = entry(page);
   std::vector<Diff> ds;
+  ds.reserve(e.retained.size());
   for (const Diff& d : e.retained) {
     // Our retained diffs are all our own; the requester's floor carries a
     // precise component for us (its cross components are conservative).

@@ -7,9 +7,12 @@ namespace cni::dsm {
 
 DsmSystem::DsmSystem(cluster::Cluster& cluster, DsmParams params)
     : cluster_(cluster), params_(params), geo_(cluster.params().page_size) {
+  runtimes_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
-    runtimes_.push_back(
-        std::make_unique<DsmRuntime>(*this, static_cast<std::uint32_t>(i)));
+    // cni-lint: allow(hot-path-alloc): one DsmRuntime per node at system
+    // construction — never on the per-message path.
+    auto rt = std::make_unique<DsmRuntime>(*this, static_cast<std::uint32_t>(i));
+    runtimes_.push_back(std::move(rt));
   }
   for (auto& rt : runtimes_) rt->install_handlers();
 }

@@ -19,12 +19,22 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
 
 #include "dsm/vector_clock.hpp"
 #include "util/buf_pool.hpp"
 #include "util/check.hpp"
 
 namespace cni::dsm {
+
+/// Malformed or truncated wire bytes. Thrown (not CNI_CHECK-aborted) by the
+/// deserialization paths: a decoder's input arrives from outside the
+/// process's own invariants, so a bad payload must be recoverable — it is
+/// what the fuzz harness (tests/fuzz) drives with arbitrary bytes. Writer-
+/// side size checks stay CNI_CHECK: they guard our own serialization.
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class ByteWriter {
  public:
@@ -137,7 +147,7 @@ class ByteReader {
   /// storage lives; hold backing() (when non-empty) to pin it.
   std::span<const std::byte> bytes() {
     const std::uint32_t n = u32();
-    CNI_CHECK_MSG(pos_ + n <= buf_.size(), "truncated DSM payload");
+    if (pos_ + n > buf_.size()) throw WireError("truncated DSM payload");
     std::span<const std::byte> out = buf_.subspan(pos_, n);
     pos_ += n;
     return out;
@@ -145,6 +155,11 @@ class ByteReader {
 
   VectorClock clock() {
     const std::uint32_t n = u32();
+    // Bounds before allocation: an attacker-controlled count must not size
+    // the clock until the bytes it promises are known to exist.
+    if (std::uint64_t{n} * 4 > remaining()) {
+      throw WireError("truncated DSM payload: clock count exceeds bytes");
+    }
     VectorClock vc(n);
     for (std::uint32_t i = 0; i < n; ++i) vc.set(i, u32());
     return vc;
@@ -159,7 +174,7 @@ class ByteReader {
 
  private:
   void raw(void* p, std::size_t n) {
-    CNI_CHECK_MSG(pos_ + n <= buf_.size(), "truncated DSM payload");
+    if (pos_ + n > buf_.size()) throw WireError("truncated DSM payload");
     std::memcpy(p, buf_.data() + pos_, n);
     pos_ += n;
   }

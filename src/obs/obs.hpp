@@ -79,6 +79,8 @@ class RunObs {
   RunObs(std::uint32_t nodes, const Options& opts) : opts_(opts) {
     nodes_.reserve(nodes);
     for (std::uint32_t i = 0; i < nodes; ++i) {
+      // cni-lint: allow(hot-path-alloc): one NodeObs per node at run setup;
+      // recording itself never allocates (trace.hpp).
       nodes_.push_back(std::make_unique<NodeObs>(i, opts));
     }
   }

@@ -7,6 +7,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/units.hpp"
 
 namespace cni::sim {
@@ -148,12 +149,24 @@ void fused_shard_loop(Engine& eng, std::uint32_t shard, const FusedHooks& hooks,
 /// Fused epochs are one crew round whose body is fused_shard_loop: shards
 /// synchronize among themselves through the padded progress words and meet
 /// at a single closing barrier, however many sub-windows the epoch spanned.
+///
+/// Two protocol roles, reified as util::Capability so Clang's thread-safety
+/// analysis checks the ownership discipline at compile time (DESIGN.md §13):
+///
+///   barrier_cap_  the coordinator role. Held exclusively by the
+///                 constructing thread for the crew's whole lifetime (the
+///                 constructor acquires, the destructor releases); workers
+///                 take it *shared* for the span of one command, which is
+///                 what licenses their reads of the command payload.
+///   shard_cap_    the executing-shard role: whoever is running one shard's
+///                 events right now. Workers acquire it per command; the
+///                 coordinator acquires it around its inline shard-0 runs.
 class EpochCrew {
  public:
   enum class Cmd : std::uint8_t { kNormal, kFused, kStop };
 
   EpochCrew(std::span<Engine* const> engines, const FusedHooks& hooks,
-            const EpochParams& params, EpochStats* stats)
+            const EpochParams& params, EpochStats* stats) CNI_ACQUIRE(barrier_cap_)
       : engines_(engines),
         hooks_(hooks),
         drain_horizon_(params.drain_horizon),
@@ -168,14 +181,14 @@ class EpochCrew {
     }
   }
 
-  ~EpochCrew() {
+  ~EpochCrew() CNI_RELEASE(barrier_cap_) {
     publish_cmd(Cmd::kStop, 0);
     for (std::thread& t : threads_) t.join();
   }
 
   /// One normal (single-window) epoch: every shard runs its events below
   /// `bound`, then barriers. Returns false when any shard raised.
-  bool run_epoch(SimTime bound) {
+  bool run_epoch(SimTime bound) CNI_REQUIRES(barrier_cap_) {
     bool remote_work = false;
     for (std::size_t s = 1; s < engines_.size(); ++s) {
       if (engines_[s]->next_time() < bound) {
@@ -185,11 +198,18 @@ class EpochCrew {
     }
     if (remote_work) {
       const std::uint64_t g = publish_cmd(Cmd::kNormal, bound);
+      shard_cap_.acquire();  // the coordinator doubles as shard 0's executor
       run_shard(0, bound);
+      shard_cap_.release();
       await_workers(g);
       if (stats_ != nullptr) ++stats_->barriers;
     } else {
+      // Workers stay parked: the last rendezvous (or thread creation)
+      // ordered their shard state before us, so running shard 0 inline
+      // still holds the executor role legitimately.
+      shard_cap_.acquire();
       run_shard(0, bound);
+      shard_cap_.release();
     }
     account_epoch(false);
     return !any_error();
@@ -198,10 +218,14 @@ class EpochCrew {
   /// One fused epoch (the ledger must be freshly reset). Returns false when
   /// any shard raised; otherwise *stop_out is the deterministic stop window
   /// (kNoStop when the epoch ran everything dry).
-  bool run_fused(std::uint64_t* stop_out) {
+  bool run_fused(std::uint64_t* stop_out) CNI_REQUIRES(barrier_cap_) {
+    // relaxed: the progress re-arm is published to workers by publish_cmd's
+    // generation release, never read before it.
     for (Word& p : progress_) p.v.store(0, std::memory_order_relaxed);
     const std::uint64_t g = publish_cmd(Cmd::kFused, 0);
+    shard_cap_.acquire();  // coordinator executes shard 0's fused loop inline
     run_fused_shard(0);
+    shard_cap_.release();
     await_workers(g);
     if (stats_ != nullptr) ++stats_->barriers;
     account_epoch(true);
@@ -211,7 +235,8 @@ class EpochCrew {
 
   /// First error in shard order — deterministic regardless of which worker
   /// hit its exception first on the wall clock.
-  [[nodiscard]] std::exception_ptr first_error() const {
+  [[nodiscard]] std::exception_ptr first_error() const
+      CNI_REQUIRES_SHARED(barrier_cap_) {
     for (const std::exception_ptr& e : errors_) {
       if (e != nullptr) return e;
     }
@@ -223,24 +248,30 @@ class EpochCrew {
     std::atomic<std::uint64_t> v{0};
   };
 
-  [[nodiscard]] bool any_error() const { return first_error() != nullptr; }
+  [[nodiscard]] bool any_error() const CNI_REQUIRES_SHARED(barrier_cap_) {
+    return first_error() != nullptr;
+  }
 
   /// Coordinator-side: writes the command payload, then releases it with one
   /// generation bump. Only called while every worker is parked (before the
   /// first epoch, or after await_workers), so the plain payload fields are
   /// ordered by the release/acquire pair on gen_.
-  std::uint64_t publish_cmd(Cmd cmd, SimTime bound) {
+  std::uint64_t publish_cmd(Cmd cmd, SimTime bound) CNI_REQUIRES(barrier_cap_) {
     cmd_ = cmd;
     bound_ = bound;
+    // release: publishes cmd_/bound_ (and all pre-epoch state) to the
+    // workers' matching acquire on gen_.
     const std::uint64_t g = gen_.fetch_add(1, std::memory_order_release) + 1;
     gen_.notify_all();
     return g;
   }
 
-  void await_workers(std::uint64_t g) {
+  void await_workers(std::uint64_t g) CNI_REQUIRES(barrier_cap_) {
     for (std::size_t s = 1; s < engines_.size(); ++s) {
       std::atomic<std::uint64_t>& word = arrivals_[s].v;
       for (std::uint32_t spins = 0;; ++spins) {
+        // acquire: pairs with the worker's arrival release, making its whole
+        // epoch of shard state visible to the coordinator.
         const std::uint64_t got = word.load(std::memory_order_acquire);
         if (got == g) break;
         if (spins > 1024) word.wait(got, std::memory_order_acquire);
@@ -254,22 +285,35 @@ class EpochCrew {
     for (;;) {
       std::uint32_t spins = 0;
       std::uint64_t g;
+      // acquire: pairs with publish_cmd's release — observing a new
+      // generation is what grants this worker the command payload (shared)
+      // and its own shard's state (exclusive) for this round.
       while ((g = gen_.load(std::memory_order_acquire)) == seen) {
         if (++spins > 1024) gen_.wait(seen, std::memory_order_acquire);
       }
       seen = g;
-      if (cmd_ == Cmd::kStop) return;
-      if (cmd_ == Cmd::kNormal) {
+      barrier_cap_.acquire_shared();  // command payload readable this round
+      const Cmd cmd = cmd_;
+      if (cmd == Cmd::kStop) {
+        barrier_cap_.release_shared();
+        return;
+      }
+      shard_cap_.acquire();  // our shard's engine/error slot is ours now
+      if (cmd == Cmd::kNormal) {
         run_shard(shard, bound_);
       } else {
         run_fused_shard(shard);
       }
+      shard_cap_.release();
+      barrier_cap_.release_shared();
+      // release: hands everything this shard touched back to the
+      // coordinator's await_workers acquire.
       arrivals_[shard].v.store(seen, std::memory_order_release);
       arrivals_[shard].v.notify_all();
     }
   }
 
-  void run_shard(std::size_t shard, SimTime bound) {
+  void run_shard(std::size_t shard, SimTime bound) CNI_REQUIRES(shard_cap_) {
     if (errors_[shard] != nullptr) return;  // poisoned: idle until shutdown
     try {
       engines_[shard]->run_before(bound);
@@ -278,7 +322,7 @@ class EpochCrew {
     }
   }
 
-  void run_fused_shard(std::size_t shard) {
+  void run_fused_shard(std::size_t shard) CNI_REQUIRES(shard_cap_) {
     if (errors_[shard] != nullptr) {
       publish_progress(shard, kIdleWord);
       return;
@@ -287,8 +331,15 @@ class EpochCrew {
     try {
       fused_shard_loop(
           *engines_[shard], sh, hooks_, drain_horizon_,
-          [this, shard](std::uint64_t j) { wait_peers(shard, j); },
-          [this, shard](std::uint64_t c) { publish_progress(shard, c); });
+          [this, shard](std::uint64_t j) {
+            // Runs on the owning shard's thread inside run_fused_shard.
+            shard_cap_.assert_held();
+            wait_peers(shard, j);
+          },
+          [this, shard](std::uint64_t c) {
+            shard_cap_.assert_held();  // same context as the wait hook
+            publish_progress(shard, c);
+          });
     } catch (...) {
       errors_[shard] = std::current_exception();
       // Abort path: stop peers at the next window they enter and unblock
@@ -299,11 +350,13 @@ class EpochCrew {
     }
   }
 
-  void wait_peers(std::size_t self, std::uint64_t j) {
+  void wait_peers(std::size_t self, std::uint64_t j) CNI_REQUIRES(shard_cap_) {
     for (std::size_t p = 0; p < progress_.size(); ++p) {
       if (p == self) continue;
       std::atomic<std::uint64_t>& word = progress_[p].v;
       for (std::uint32_t spins = 0;; ++spins) {
+        // acquire: pairs with the peer's progress release; entering window j
+        // therefore observes every send its windows < j recorded.
         const std::uint64_t c = word.load(std::memory_order_acquire);
         if (c >= j) break;
         if (spins > 1024) word.wait(c, std::memory_order_acquire);
@@ -311,15 +364,18 @@ class EpochCrew {
     }
   }
 
-  void publish_progress(std::size_t shard, std::uint64_t completed) {
+  void publish_progress(std::size_t shard, std::uint64_t completed)
+      CNI_REQUIRES(shard_cap_) {
     std::atomic<std::uint64_t>& word = progress_[shard].v;
+    // release: follows this window's note_send calls in program order, so a
+    // peer's acquire of this word sees every send that could stop it.
     word.store(completed, std::memory_order_release);
     word.notify_all();
   }
 
   /// Coordinator-side: every engine is quiescent at the barrier, so the
   /// per-epoch deltas (and the busiest shard) are computed race-free here.
-  void account_epoch(bool fused) {
+  void account_epoch(bool fused) CNI_REQUIRES(barrier_cap_) {
     if (stats_ == nullptr) return;
     ++stats_->epochs;
     if (fused) ++stats_->fused_epochs;
@@ -334,19 +390,29 @@ class EpochCrew {
     stats_->critical_path_events += busiest;
   }
 
+  /// Coordinator role (see class comment). Declared first so the guarded
+  /// members below may reference it.
+  util::Capability barrier_cap_;
+  /// Executing-shard role (see class comment).
+  util::Capability shard_cap_;
+
   std::span<Engine* const> engines_;
   FusedHooks hooks_;
   SimDuration drain_horizon_;
-  std::vector<std::uint64_t> prev_events_;  // coordinator-only, see account_epoch
+  /// Coordinator-only (see account_epoch).
+  std::vector<std::uint64_t> prev_events_ CNI_GUARDED_BY(barrier_cap_);
+  // Per-shard slots: element s written under shard s's executor role, read
+  // by the coordinator at barriers (per-element guarding is beyond the
+  // annotation language; the REQUIRES on run_shard/first_error carry it).
   std::vector<std::exception_ptr> errors_;
   std::vector<Word> arrivals_;  // per-shard padded barrier arrival words
   std::vector<Word> progress_;  // per-shard padded fused-window progress
-  EpochStats* stats_;
+  EpochStats* stats_ CNI_PT_GUARDED_BY(barrier_cap_);
   std::atomic<std::uint64_t> gen_{0};
   // Command payload: written by the coordinator only while workers are
   // parked, read by workers after the acquire on gen_ — plain fields.
-  Cmd cmd_ = Cmd::kNormal;
-  SimTime bound_ = 0;
+  Cmd cmd_ CNI_GUARDED_BY(barrier_cap_) = Cmd::kNormal;
+  SimTime bound_ CNI_GUARDED_BY(barrier_cap_) = 0;
   std::vector<std::thread> threads_;
 };
 

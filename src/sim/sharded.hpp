@@ -42,6 +42,7 @@
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/function_ref.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cni::sim {
 
@@ -177,11 +178,23 @@ class FusionLedger {
   /// stop_window() while no send is recorded: the epoch never needs a drain.
   static constexpr std::uint64_t kNoStop = ~0ull;
 
+  /// The coordinator role: held exclusively between epochs (when reset()
+  /// re-arms the geometry, with every shard quiescent at the barrier) and
+  /// shared by every shard thread while a fused epoch runs (geometry reads).
+  /// The grant is a protocol edge — the crew barrier — not a lock, so the
+  /// methods below assert the role rather than block for it.
+  util::Capability coord;
+
   /// Re-arms the ledger for a fused epoch starting at `base` with sub-window
   /// width `window`. Coordinator-only, never concurrent with shard execution.
   void reset(SimTime base, SimDuration window) {
+    // Exclusive by protocol: reset is only called between epochs, when the
+    // crew barrier has parked every shard thread.
+    coord.assert_held();
     base_ = base;
     window_ = window;
+    // relaxed: the re-armed value is published to shard threads by the crew's
+    // generation-bump release, not by this store.
     min_send_window_.store(kNoStop, std::memory_order_relaxed);
   }
 
@@ -189,6 +202,10 @@ class FusionLedger {
   /// (callable from any shard thread). Lock-free atomic-min.
   void note_send(SimTime t) {
     const std::uint64_t w = window_of(t);
+    // relaxed load / release CAS: the publishing edge peers rely on is the
+    // sender's *progress-word* release that follows note_send in program
+    // order (see fused_shard_loop); the CAS release only orders the window
+    // value itself for stop_window()'s acquire.
     std::uint64_t cur = min_send_window_.load(std::memory_order_relaxed);
     while (w < cur && !min_send_window_.compare_exchange_weak(
                           cur, w, std::memory_order_release, std::memory_order_relaxed)) {
@@ -197,22 +214,33 @@ class FusionLedger {
 
   /// Sub-window index of time `t` (0 for anything at or before base).
   [[nodiscard]] std::uint64_t window_of(SimTime t) const {
+    // Shared by protocol: geometry is frozen for the whole epoch; any thread
+    // inside the epoch (including note_send callers) may read it.
+    coord.assert_shared();
     return t <= base_ ? 0 : (t - base_) / window_;
   }
 
   /// First sub-window no shard may execute: one past the earliest recorded
   /// send's window, or kNoStop while nothing was recorded.
   [[nodiscard]] std::uint64_t stop_window() const {
+    // acquire: pairs with note_send's release so the reader of a stop
+    // decision also observes the recorded window value.
     const std::uint64_t m = min_send_window_.load(std::memory_order_acquire);
     return m == kNoStop ? kNoStop : m + 1;
   }
 
-  [[nodiscard]] SimTime base() const { return base_; }
-  [[nodiscard]] SimDuration window() const { return window_; }
+  [[nodiscard]] SimTime base() const {
+    coord.assert_shared();  // frozen for the epoch, see window_of
+    return base_;
+  }
+  [[nodiscard]] SimDuration window() const {
+    coord.assert_shared();  // frozen for the epoch, see window_of
+    return window_;
+  }
 
  private:
-  SimTime base_ = 0;
-  SimDuration window_ = 1;
+  SimTime base_ CNI_GUARDED_BY(coord) = 0;
+  SimDuration window_ CNI_GUARDED_BY(coord) = 1;
   std::atomic<std::uint64_t> min_send_window_{kNoStop};
 };
 
@@ -224,8 +252,12 @@ struct FusedHooks {
   /// for different shards — sound only for aligned plans (see
   /// ShardPlan::aligned); pass fuse = false or keep local queues empty
   /// otherwise.
+  // cni-lint: allow(functionref-escape): borrowed for exactly one run_epochs
+  // call; the caller keeps the named lambdas alive for its whole duration.
   util::FunctionRef<SimTime(std::uint32_t shard, SimTime limit)> local_drain;
   /// Earliest unrouted local head of `shard` (kNever when none).
+  // cni-lint: allow(functionref-escape): borrowed for exactly one run_epochs
+  // call, same lifetime argument as local_drain.
   util::FunctionRef<SimTime(std::uint32_t shard)> local_min;
   /// Where the fabric records barrier-requiring sends. Null disables fusion.
   FusionLedger* ledger = nullptr;

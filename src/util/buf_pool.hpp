@@ -37,6 +37,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cni::util {
 
@@ -108,10 +109,13 @@ class Buf {
 
   /// True iff this handle is the only owner (safe to mutate a shared block).
   [[nodiscard]] bool unique() const noexcept {
+    // acquire: pairs with drop's acq_rel decrement, so observing refs == 1
+    // also observes every other (former) owner's writes to the block.
     return c_ != nullptr && c_->refs.load(std::memory_order_acquire) == 1;
   }
 
   [[nodiscard]] std::uint32_t ref_count() const noexcept {
+    // acquire: mirror unique() so callers comparing counts see settled state.
     return c_ == nullptr ? 0 : c_->refs.load(std::memory_order_acquire);
   }
 
@@ -128,6 +132,8 @@ class Buf {
   explicit Buf(BufCtrl* c) noexcept : c_(c) {}
 
   static void retain(BufCtrl* c) noexcept {
+    // relaxed: taking a new reference needs no ordering — the caller already
+    // holds one, and only the final drop synchronizes (acq_rel there).
     if (c != nullptr) c->refs.fetch_add(1, std::memory_order_relaxed);
   }
   static void drop(BufCtrl* c) noexcept;
@@ -163,6 +169,9 @@ class BufPool {
 
   /// Allocates a buffer of logical size `n` (contents uninitialized).
   [[nodiscard]] Buf alloc(std::size_t n) {
+    // Held by thread identity: allocation only happens through local(), so
+    // the calling thread is this pool's owner.
+    owner_role_.assert_held();
     const std::uint32_t sc = class_of(n);
     if (sc == kUnpooledClass) {
       ++hits_misses_[1];
@@ -174,13 +183,17 @@ class BufPool {
       BufCtrl* c = head;
       head = c->next;
       c->next = nullptr;
+      // relaxed: the block leaves the freelist unshared; it becomes visible
+      // to other threads only through later synchronizing handoffs.
       c->refs.store(1, std::memory_order_relaxed);
       c->size = n;
       ++hits_misses_[0];
+      // relaxed: live_ is a counter; lifetime edges order via unref_pool.
       live_.fetch_add(1, std::memory_order_relaxed);
       return Buf(c);
     }
     ++hits_misses_[1];
+    // relaxed: live_ is a counter; lifetime edges order via unref_pool.
     live_.fetch_add(1, std::memory_order_relaxed);
     return Buf(heap_block(n, kMinClassBytes << sc, sc, this));
   }
@@ -193,10 +206,14 @@ class BufPool {
   }
 
   [[nodiscard]] Stats stats() const noexcept {
+    // Held by thread identity: stats are read on the owning thread (apps
+    // snapshot their own pool after a run).
+    owner_role_.assert_shared();
     Stats s;
     s.hits = hits_misses_[0];
     s.misses = hits_misses_[1];
     s.refurbished = refurbished_;
+    // relaxed: advisory snapshot for reports; no synchronization implied.
     s.remote_frees = remote_frees_.load(std::memory_order_relaxed);
     const std::int64_t live = live_.load(std::memory_order_relaxed) - 1;
     s.outstanding = live > 0 ? static_cast<std::uint64_t>(live) : 0;
@@ -223,6 +240,8 @@ class BufPool {
   /// deleting the pool when the count hits zero. Exactly one caller observes
   /// zero, so there is exactly one deleter.
   static void unref_pool(BufPool* p) noexcept {
+    // acq_rel: the elected deleter must observe every releaser's writes to
+    // the blocks it is about to purge, and publish its own decrements.
     if (p->live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       p->purge_freelists();
       delete p;  // cni-lint note: cold path, runs once per pool lifetime
@@ -230,7 +249,9 @@ class BufPool {
   }
 
   /// Drains the remote-free stack into the local freelists.
-  void refurbish() noexcept {
+  void refurbish() noexcept CNI_REQUIRES(owner_role_) {
+    // acquire: pairs with the pushers' release CAS in release(); the popped
+    // chain (every c->next link) is ours exclusively after this.
     BufCtrl* c = remote_free_.exchange(nullptr, std::memory_order_acquire);
     while (c != nullptr) {
       BufCtrl* next = c->next;
@@ -244,6 +265,7 @@ class BufPool {
   [[nodiscard]] static BufCtrl* heap_block(std::size_t n, std::size_t cap,
                                            std::uint32_t sc, BufPool* owner) {
     auto* c = static_cast<BufCtrl*>(::operator new(sizeof(BufCtrl) + cap));
+    // relaxed: the fresh block is thread-private until handed out.
     c->refs.store(1, std::memory_order_relaxed);
     c->size_class = sc;
     c->capacity = cap;
@@ -258,15 +280,24 @@ class BufPool {
   /// Frees every freelisted block. Only called with exclusive access: by the
   /// single deleter elected in unref_pool.
   void purge_freelists() noexcept {
+    // Held by election: unref_pool's acq_rel decrement reached zero on this
+    // thread, so no other reference to the pool exists.
+    owner_role_.assert_held();
     refurbish();
     for (BufCtrl*& head : free_) {
       while (head != nullptr) free_block(std::exchange(head, head->next));
     }
   }
 
-  BufCtrl* free_[kClassCount] = {};
-  std::uint64_t hits_misses_[2] = {0, 0};
-  std::uint64_t refurbished_ = 0;
+  /// Owning-thread role: granted by thread identity (this pool is the
+  /// caller's thread-local pool) or, in purge_freelists, by being the single
+  /// deleter elected through unref_pool. Guards the non-atomic freelists and
+  /// tallies that only the owner may touch.
+  Capability owner_role_;
+
+  BufCtrl* free_[kClassCount] CNI_GUARDED_BY(owner_role_) = {};
+  std::uint64_t hits_misses_[2] CNI_GUARDED_BY(owner_role_) = {0, 0};
+  std::uint64_t refurbished_ CNI_GUARDED_BY(owner_role_) = 0;
 
   std::atomic<BufCtrl*> remote_free_{nullptr};
   std::atomic<std::uint64_t> remote_frees_{0};
@@ -313,16 +344,22 @@ inline void BufPool::release(BufCtrl* c) noexcept {
     return;
   }
   if (owner == detail::tls_buf_pool) {
-    // Same-thread release: straight onto the local freelist.
+    // Same-thread release (proved by the TLS identity test above, which is
+    // also what confers the owner role here): straight onto the freelist.
+    owner->owner_role_.assert_held();
     c->next = owner->free_[c->size_class];
     owner->free_[c->size_class] = c;
+    // relaxed: same-thread bookkeeping; deletion edges go via unref_pool.
     owner->live_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
   // Cross-thread release: push onto the owner's remote stack, then drop the
   // block's pool reference. The push strictly precedes the unref, so the
   // pool cannot be deleted under a pusher.
+  // relaxed: tally only; the push below carries the ordering.
   owner->remote_frees_.fetch_add(1, std::memory_order_relaxed);
+  // relaxed load/failure: retry-only values. release on success: publishes
+  // the c->next link (and the dead block's bytes) to refurbish's acquire.
   BufCtrl* head = owner->remote_free_.load(std::memory_order_relaxed);
   do {
     c->next = head;
@@ -332,6 +369,8 @@ inline void BufPool::release(BufCtrl* c) noexcept {
 }
 
 inline void Buf::drop(BufCtrl* c) noexcept {
+  // acq_rel: the final drop must acquire every other owner's writes to the
+  // block before recycling it, and release its own for the next allocator.
   if (c != nullptr && c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     BufPool::release(c);
   }

@@ -61,15 +61,19 @@ void put_json_escaped(std::FILE* f, const char* msg) {
 }  // namespace
 
 LogLevel Logger::level() {
+  // relaxed: a standalone config word — no other data is published through
+  // it, and a racy double-read of the env var is idempotent.
   int v = g_level.load(std::memory_order_relaxed);
   if (v < 0) {
     v = read_env_level();
+    // relaxed: caching the env lookup; any thread recomputes the same value.
     g_level.store(v, std::memory_order_relaxed);
   }
   return static_cast<LogLevel>(v);
 }
 
 void Logger::set_level(LogLevel lvl) {
+  // relaxed: standalone config word, publishes nothing beyond itself.
   g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
 }
 
@@ -79,23 +83,29 @@ void Logger::set_time_hook(TimeFn fn, void* ctx) {
 }
 
 bool Logger::json() {
+  // relaxed: standalone config word (see level()).
   int v = g_json.load(std::memory_order_relaxed);
   if (v < 0) {
     const char* env = std::getenv("CNI_LOG_JSON");
     v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    // relaxed: caching the env lookup; any thread recomputes the same value.
     g_json.store(v, std::memory_order_relaxed);
   }
   return v != 0;
 }
 
+// relaxed: standalone config word, publishes nothing beyond itself.
 void Logger::set_json(bool on) { g_json.store(on ? 1 : 0, std::memory_order_relaxed); }
 
 void Logger::set_stream(std::FILE* stream) {
+  // relaxed: the FILE* itself is the whole message — tests install streams
+  // before logging threads exist, and flockfile orders the actual writes.
   g_stream.store(stream, std::memory_order_relaxed);
 }
 
 void Logger::log(LogLevel lvl, const char* fmt, ...) {
   if (!enabled(lvl)) return;
+  // relaxed: pairs with the single-word store in set_stream.
   std::FILE* f = g_stream.load(std::memory_order_relaxed);
   if (f == nullptr) f = stderr;
 

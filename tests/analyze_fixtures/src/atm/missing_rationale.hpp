@@ -1,0 +1,25 @@
+// Fixture: an explicitly ordered atomic operation still needs its pairing
+// rationale next to the code (same line or the four lines above). The
+// store below names memory_order_release but gives no reason.
+// analyze-expect: atomic-rationale
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Publisher {
+  std::atomic<std::uint64_t> word{0};
+
+  void bad_uncommented_release(std::uint64_t v) {
+    int spacer1 = 0;
+    (void)spacer1;
+    int spacer2 = 0;
+    (void)spacer2;
+
+    word.store(v, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

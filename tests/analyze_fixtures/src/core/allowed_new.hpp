@@ -1,11 +1,14 @@
-// Fixture: a justified suppression silences the rule — this file must lint
-// clean even though it allocates in a hot-path directory.
+// Fixture: a justified suppression silences the AST rule — this file must
+// analyze clean even though it allocates in a hot-path directory. The
+// suppression syntax is shared with lint_cni.py.
 #pragma once
 
 namespace fixture {
+
 inline int* sanctioned_alloc_site() {
   // cni-lint: allow(hot-path-alloc): fixture for the suppression syntax;
   // models a setup-time allocation that never runs per event.
   return new int(7);
 }
+
 }  // namespace fixture

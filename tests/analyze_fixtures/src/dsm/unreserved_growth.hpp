@@ -1,0 +1,29 @@
+// Fixture: hot-path-growth. Growing a local vector inside a loop without a
+// reserve() anywhere in the function reallocates on the hot path and must
+// be flagged; the sibling that reserves first is clean.
+// analyze-expect: hot-path-growth
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<int> bad_unreserved(std::size_t n) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+inline std::vector<int> good_reserved(std::size_t n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: constructing a std::function from a callable can heap-allocate
+// the target, and the AST rule flags the construction even through a type
+// alias (the regex linter could only ban the tokens "std::function"). Both
+// the conversion from a lambda and the copy must be flagged.
+// analyze-expect: hot-path-alloc
+// analyze-expect: hot-path-alloc
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+
+using Handler = std::function<void(int)>;
+
+inline void install(int seed) {
+  Handler h = [seed](int x) { (void)(seed + x); };  // conversion: allocates
+  Handler copy = h;                                 // copy: allocates
+  (void)copy;
+}
+
+}  // namespace fixture

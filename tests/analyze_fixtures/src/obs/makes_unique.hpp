@@ -1,0 +1,19 @@
+// Fixture: std::make_unique is an allocation no matter how it is spelled —
+// the AST rule resolves the callee through the cast, so namespace
+// qualification or argument formatting cannot hide it.
+// analyze-expect: hot-path-alloc
+#pragma once
+
+#include <memory>
+
+namespace fixture {
+
+struct Probe {
+  int value = 0;
+};
+
+inline std::unique_ptr<Probe> bad_make_site() {
+  return std::make_unique<Probe>();
+}
+
+}  // namespace fixture

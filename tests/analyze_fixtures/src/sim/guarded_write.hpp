@@ -1,0 +1,36 @@
+// Fixture: shard-ownership. `cursor_` is CNI_GUARDED_BY the shard role;
+// writing it from a method that neither declares a capability attribute nor
+// asserts the role in its body must be flagged. The two compliant methods —
+// one with CNI_REQUIRES, one asserting the role by protocol — are clean.
+// analyze-expect: shard-ownership
+#pragma once
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class ShardState {
+ public:
+  cni::util::Capability role;
+
+  void bad_rogue_write(std::uint64_t v) {
+    cursor_ = v;
+  }
+
+  void good_declared_write(std::uint64_t v) CNI_REQUIRES(role) {
+    cursor_ = v;
+  }
+
+  void good_asserted_write(std::uint64_t v) {
+    // Held by protocol: only the owning shard calls this mid-epoch.
+    role.assert_held();
+    cursor_ = v;
+  }
+
+ private:
+  std::uint64_t cursor_ CNI_GUARDED_BY(role) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: atomics that silently default to seq_cst. Both forms must be
+// flagged — a named operation with the memory_order argument left to its
+// default, and the operator forms (=, ++, implicit conversion), which are
+// seq_cst by definition. Explicitly named orders in this file carry
+// rationale comments so only the ordering rule fires.
+// analyze-expect: atomic-implicit-order
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct ImplicitCounter {
+  std::atomic<std::uint64_t> hits{0};
+
+  std::uint64_t bad_defaulted_load() const {
+    // A comment is present, but the order is still the silent default.
+    return hits.load();
+  }
+
+  void bad_operator_increment() {
+    // Operator form: seq_cst by definition, no way to spell the order.
+    ++hits;
+  }
+
+  void good_explicit_store(std::uint64_t v) {
+    // relaxed: a monotonic tally read only at quiescence.
+    hits.store(v, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: util::FunctionRef is a borrowed view of a callable — storing one
+// in a field outlives the borrow unless the lifetime is argued. An
+// unannotated FunctionRef field must be flagged; the allow()ed one, whose
+// comment states the contract, is clean.
+// analyze-expect: functionref-escape
+#pragma once
+
+#include "util/function_ref.hpp"
+
+namespace fixture {
+
+struct BadEscape {
+  cni::util::FunctionRef<void()> hook;
+};
+
+struct SanctionedBorrow {
+  // cni-lint: allow(functionref-escape): borrowed for exactly one call to
+  // run() on this stack frame; the referent outlives this struct.
+  cni::util::FunctionRef<void()> hook;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a new-expression in a hot-path directory must be flagged — the
+// AST rule sees the actual CXXNewExpr, not the token (a comment saying
+// "new" or a variable named renew_ must not trip it).
+// analyze-expect: hot-path-alloc
+#pragma once
+
+namespace fixture {
+
+inline int* bad_alloc_site() {
+  int renewal = 0;  // "new" as a substring: not a finding
+  (void)renewal;
+  return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a virtual method declared in the event-dispatch core must be
+// flagged — per-event virtual dispatch defeats inlining on the hottest
+// paths (src/sim, src/core). The non-virtual method is clean, and the same
+// declaration in src/nic (see ../nic) would be out of scope for this rule.
+// analyze-expect: virtual-hot
+#pragma once
+
+namespace fixture {
+
+struct BadDispatcher {
+  virtual void on_event(int token) = 0;
+  virtual ~BadDispatcher() = default;
+
+  void fine_concrete(int token) { (void)token; }
+};
+
+}  // namespace fixture

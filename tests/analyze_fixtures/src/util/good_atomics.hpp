@@ -1,0 +1,25 @@
+// Fixture: the compliant shape — every atomic operation names its
+// memory_order and carries an adjacent rationale comment. This file must
+// analyze clean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Handshake {
+  std::atomic<std::uint64_t> flag{0};
+
+  void publish(std::uint64_t v) {
+    // release: pairs with the acquire in consume() — everything written
+    // before this store is visible to the reader that observes v.
+    flag.store(v, std::memory_order_release);
+  }
+
+  std::uint64_t consume() const {
+    return flag.load(std::memory_order_acquire);  // pairs with publish()
+  }
+};
+
+}  // namespace fixture

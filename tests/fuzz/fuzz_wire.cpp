@@ -1,0 +1,161 @@
+// Fuzz harness for the DSM wire formats and the diff engine — the two spots
+// where the simulator decodes bytes it did not produce in the same call
+// chain (frames cross the simulated wire as real serialized payloads).
+//
+// Two targets, selected by the input's first byte:
+//
+//   wire decode   Interval::deserialize / Diff::deserialize / raw ByteReader
+//                 primitives over arbitrary bytes. Malformed input must
+//                 throw WireError (recoverable, bounds checked *before* any
+//                 count-driven allocation) — never crash, abort via
+//                 CNI_CHECK, or allocate unboundedly. Accepted input must
+//                 round-trip: re-serializing the decoded value and decoding
+//                 it again yields the same wire image.
+//
+//   diff property make_diff/apply_diff as an algebraic pair: for arbitrary
+//                 (twin, current) page images, applying the diff onto a copy
+//                 of the twin must reconstruct current exactly, and the diff
+//                 must survive a serialize/deserialize round trip unchanged.
+//
+// Built two ways (tests/CMakeLists.txt):
+//   - CNI_FUZZ=ON + Clang: a libFuzzer binary (fuzz_wire) for open-ended
+//     runs; CI gives it a five-minute smoke budget.
+//   - always: a corpus-replay binary (fuzz_wire_replay) with a plain main()
+//     that runs every file in tests/fuzz/corpus through the same entry
+//     point, so the checked-in findings regress under any compiler, in
+//     tier-1 ctest, with no fuzzer runtime.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "dsm/diff.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/vector_clock.hpp"
+#include "dsm/wire_format.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using cni::dsm::ByteReader;
+using cni::dsm::ByteWriter;
+using cni::dsm::Diff;
+using cni::dsm::Interval;
+using cni::dsm::VectorClock;
+using cni::dsm::WireError;
+
+std::span<const std::byte> as_bytes(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const std::byte*>(data), size};
+}
+
+bool same_bytes(std::span<const std::byte> a, std::span<const std::byte> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+/// Decoders must treat arbitrary bytes as either a value or a WireError —
+/// nothing else. On success, the value must re-serialize to a wire image
+/// that decodes to the same image again (round-trip stability).
+void fuzz_wire_decode(std::span<const std::byte> in) {
+  try {
+    ByteReader r(in);
+    const Interval iv = Interval::deserialize(r);
+    ByteWriter w;
+    iv.serialize(w);
+    ByteReader r2(w.data());
+    const Interval iv2 = Interval::deserialize(r2);
+    ByteWriter w2;
+    iv2.serialize(w2);
+    CNI_CHECK_MSG(same_bytes(w.data(), w2.data()),
+                  "interval wire image not round-trip stable");
+  } catch (const WireError&) {
+    // malformed input: the one acceptable outcome
+  }
+  try {
+    ByteReader r(in);
+    const Diff d = Diff::deserialize(r);
+    ByteWriter w;
+    d.serialize(w);
+    ByteReader r2(w.data());
+    const Diff d2 = Diff::deserialize(r2);
+    ByteWriter w2;
+    d2.serialize(w2);
+    CNI_CHECK_MSG(same_bytes(w.data(), w2.data()),
+                  "diff wire image not round-trip stable");
+  } catch (const WireError&) {
+  }
+  try {
+    ByteReader r(in);
+    while (!r.done()) {
+      (void)r.bytes();
+      (void)r.clock();
+    }
+  } catch (const WireError&) {
+  }
+}
+
+/// make_diff/apply_diff as an algebra: diff(twin -> current) applied to the
+/// twin reconstructs current, byte for byte, for any pair of images; and the
+/// diff survives the wire unchanged.
+void fuzz_diff_property(std::span<const std::byte> in) {
+  // Split the input into two equal-length page images (odd byte dropped).
+  const std::size_t page = in.size() / 2;
+  const std::span<const std::byte> twin = in.first(page);
+  const std::span<const std::byte> current = in.subspan(page, page);
+
+  const Diff d = cni::dsm::make_diff(3, VectorClock(4), twin, current);
+  std::vector<std::byte> image(twin.begin(), twin.end());
+  cni::dsm::apply_diff(d, image);
+  CNI_CHECK_MSG(same_bytes(image, current), "apply(make_diff) != current");
+
+  ByteWriter w;
+  d.serialize(w);
+  ByteReader r(w.data());
+  const Diff back = Diff::deserialize(r);
+  std::vector<std::byte> image2(twin.begin(), twin.end());
+  cni::dsm::apply_diff(back, image2);
+  CNI_CHECK_MSG(same_bytes(image2, current),
+                "diff does not survive the wire");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::span<const std::byte> payload = as_bytes(data + 1, size - 1);
+  if ((data[0] & 1) == 0) {
+    fuzz_wire_decode(payload);
+  } else {
+    fuzz_diff_property(payload);
+  }
+  return 0;
+}
+
+#ifdef CNI_FUZZ_REPLAY_MAIN
+// Corpus replay: no fuzzer runtime needed, so the checked-in corpus is a
+// tier-1 regression suite under any compiler (ctest fuzz_wire_corpus).
+#include <cstdio>
+#include <fstream>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream f(argv[i], std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("fuzz_wire_replay: %d input(s) OK\n", argc - 1);
+  return 0;
+}
+#endif

@@ -58,12 +58,28 @@ TEST(WireFormat, RoundTrip) {
   EXPECT_TRUE(r.done());
 }
 
-TEST(WireFormat, TruncatedPayloadAborts) {
+TEST(WireFormat, TruncatedPayloadThrows) {
   ByteWriter w;
   w.u32(1);
   ByteReader r(w.data());
   r.u32();
-  EXPECT_DEATH(r.u64(), "truncated");
+  EXPECT_THROW(r.u64(), WireError);
+}
+
+TEST(WireFormat, OversizedClockCountThrowsBeforeAllocating) {
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);  // clock entry count far beyond the payload
+  ByteReader r(w.data());
+  EXPECT_THROW(r.clock(), WireError);
+}
+
+TEST(WireFormat, OversizedRunCountThrowsBeforeAllocating) {
+  ByteWriter w;
+  w.u32(7);            // writer
+  w.clock(VectorClock(2));
+  w.u32(0x40000000u);  // run count the payload cannot hold
+  ByteReader r(w.data());
+  EXPECT_THROW(Diff::deserialize(r), WireError);
 }
 
 TEST(Interval, SerializeRoundTrip) {

@@ -4,10 +4,12 @@
 // and under a concurrent sweep pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <random>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/jacobi.hpp"
@@ -164,6 +166,34 @@ TEST(FusionLedger, StopWindowIsOnePastEarliestRecordedSend) {
   EXPECT_EQ(led.stop_window(), sim::FusionLedger::kNoStop);
 }
 
+TEST(FusionLedger, StopWindowIsInvariantUnderEverySendInterleaving) {
+  // During a fused epoch every shard calls note_send concurrently, so the
+  // order the ledger observes is an arbitrary interleaving decided by the
+  // schedule. The stop decision must be a pure function of the *set* of
+  // sends: exhaust all N! arrival orders of a fixed send set (with ties,
+  // at-base and far-future times included) and require one answer.
+  const std::vector<sim::SimTime> sends = {900, 1000, 1150, 1800, 1800, 42'000};
+  std::vector<std::size_t> order(sends.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto stop_for = [&sends](const std::vector<std::size_t>& perm) {
+    sim::FusionLedger led;
+    led.reset(1000, 800);
+    for (const std::size_t i : perm) led.note_send(sends[i]);
+    return led.stop_window();
+  };
+
+  const std::uint64_t expected = stop_for(order);
+  EXPECT_EQ(expected, 1u);  // sends at/before base land in window 0
+  std::uint64_t perms = 0;
+  do {
+    ASSERT_EQ(stop_for(order), expected)
+        << "interleaving #" << perms << " changed the fusion stop decision";
+    ++perms;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(perms, 720u);  // 6! index orders (ties run twice; still cheap)
+}
+
 TEST(LookaheadMatrix, FabricExportIsSymmetricBoundedWithUnboundedDiagonal) {
   sim::Engine eng;
   atm::FabricParams fp;
@@ -292,6 +322,55 @@ TEST(ShardedFabric, SameSourceKeepsSendSequenceOrder) {
   EXPECT_EQ(fx.deliveries[1].first, 3u);
 }
 
+TEST(ShardedFabric, DeliveryOrderIsInvariantUnderEverySendInterleaving) {
+  // The epoch schedule decides the order in which shards hand their sends to
+  // the fabric — per epoch, per fusion decision, per K. The canonical
+  // (head, src, seq) drain must erase all of it: replay the same send set
+  // under every permutation of the cross-source order, split across an
+  // arbitrary drain boundary, and require the same delivery sequence.
+  // Same-source sends keep their program order (the uplink serializes them),
+  // so permutations run over one send per source, with head-time ties.
+  struct Send {
+    sim::SimTime ready;
+    atm::NodeId src, dst;
+  };
+  const std::vector<Send> sends = {
+      {0, 0, 2}, {0, 1, 3}, {0, 2, 1}, {sim::kMillisecond, 3, 0}};
+  std::vector<std::size_t> order(sends.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto deliveries_for = [&sends](const std::vector<std::size_t>& perm,
+                                 bool two_phase) {
+    ShardedFabricFixture fx;
+    for (const std::size_t i : perm) {
+      const Send& s = sends[i];
+      fx.fabric.send(s.ready, fx.frame(s.src, s.dst));
+    }
+    if (two_phase) {
+      // An epoch boundary between the early group and the millisecond
+      // straggler: like a shorter epoch, the first drain routes only heads
+      // below the limit. Must not change the final sequence.
+      fx.fabric.drain(sim::kMillisecond);
+    }
+    fx.fabric.drain(sim::kNever);
+    fx.run_all();
+    return fx.deliveries;
+  };
+
+  const auto expected = deliveries_for(order, false);
+  ASSERT_EQ(expected.size(), sends.size());
+  std::uint64_t cases = 0;
+  do {
+    for (const bool two_phase : {false, true}) {
+      ASSERT_EQ(deliveries_for(order, two_phase), expected)
+          << "interleaving #" << cases << " two_phase=" << two_phase
+          << " changed the delivery sequence";
+      ++cases;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(cases, 48u);  // 4! send orders x {single, split} epoch drains
+}
+
 // ---------------------------------------------------------------------------
 // Whole-cluster determinism
 
@@ -343,6 +422,34 @@ TEST(ParsimDeterminism, RandomizedRunsAreByteIdenticalAcrossShardCounts) {
               << "trial " << trial << " diverged at K=" << k
               << " fusion=" << fuse << " pair_lookahead=" << pair;
         }
+      }
+    }
+  }
+}
+
+TEST(ParsimDeterminism, ExhaustiveKnobGridIsByteIdenticalOnBoundedCluster) {
+  // Exhaustive (not sampled) schedule coverage on a bounded cluster: every
+  // legal shard count 1..nodes — including K=3, which splits 4 nodes into
+  // unequal shards — crossed with both fusion and pair-lookahead settings.
+  // Each knob combination produces a different epoch schedule, i.e. a
+  // different interleaving of shard execution, fusion decisions and barrier
+  // drains; all of them must reproduce the K=1 fingerprint byte for byte.
+  apps::JacobiConfig config;
+  config.n = 16;
+  config.iterations = 2;
+  cluster::SimParams params = apps::make_params(cluster::BoardKind::kCni, 4);
+  params.obs.trace = true;  // trace export identity too
+  params.sim_shards = 1;
+  const std::string base = run_fingerprint(params, config);
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    for (const bool fuse : {false, true}) {
+      for (const bool pair : {false, true}) {
+        params.sim_shards = k;
+        params.sim_fusion = fuse;
+        params.sim_pair_lookahead = pair;
+        EXPECT_EQ(base, run_fingerprint(params, config))
+            << "diverged at K=" << k << " fusion=" << fuse
+            << " pair_lookahead=" << pair;
       }
     }
   }
