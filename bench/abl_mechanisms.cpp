@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "abl_mechanisms");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("table", "ablation");
   reporter.add_config("app", "water");
   apps::WaterConfig cfg{bench::fast_mode() ? 64u : 216u, 2};

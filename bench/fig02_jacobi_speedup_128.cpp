@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig02_jacobi_speedup_128");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig02");
   reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg{128, bench::fast_mode() ? 6u : 40u, 16};

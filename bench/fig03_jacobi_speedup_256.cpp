@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig03_jacobi_speedup_256");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig03");
   reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg{256, bench::fast_mode() ? 6u : 40u, 16};

@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig06_water_speedup_64");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig06");
   reporter.add_config("app", "water");
   apps::WaterConfig cfg{64, 2};

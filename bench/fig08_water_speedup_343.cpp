@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig08_water_speedup_343");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig08");
   reporter.add_config("app", "water");
   apps::WaterConfig cfg{343, 2};

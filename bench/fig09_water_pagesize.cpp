@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig09_water_pagesize");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig09");
   reporter.add_config("app", "water");
   apps::WaterConfig cfg{216, 2};

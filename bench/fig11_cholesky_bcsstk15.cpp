@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig11_cholesky_bcsstk15");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig11");
   reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk15();

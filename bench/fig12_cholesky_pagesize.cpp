@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig12_cholesky_pagesize");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig12");
   reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();

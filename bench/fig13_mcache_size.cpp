@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "fig13_mcache_size");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig13");
   const bool fast = bench::fast_mode();
   apps::JacobiConfig jac = fast ? apps::JacobiConfig{128, 5, 16}

@@ -86,6 +86,7 @@ sim::SimDuration measure(cluster::BoardKind board, std::uint64_t bytes,
 
 int main(int argc, char** argv) {
   cni::obs::Reporter reporter(argc, argv, "fig14_latency_micro");
+  cni::cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("figure", "fig14");
   cni::util::Table t("Figure 14: node-to-node latency vs message size");
   t.set_header({"bytes", "CNI (us)", "Standard (us)", "reduction (%)"});

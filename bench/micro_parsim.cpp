@@ -208,6 +208,16 @@ std::string parallelism_or_null(const ModeResult& m, bool sharded) {
   return buf;
 }
 
+/// wall_vs_k1 is only an honest speedup when the host actually ran the shard
+/// threads in parallel. On a core-starved host the ratio measures scheduler
+/// thrash, not the engine — emit null so downstream tooling can't quote it.
+std::string speedup_or_null(double ratio, bool cores_limited) {
+  if (cores_limited) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", ratio);
+  return buf;
+}
+
 void print_json(const std::vector<Point>& points) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("{\n  \"points\": {\n");
@@ -232,7 +242,7 @@ void print_json(const std::vector<Point>& points) {
           "\"epochs\": %s, \"events_total\": %s, "
           "\"critical_path_events\": %s, \"fused_epochs\": %s, "
           "\"barriers\": %s, \"event_parallelism\": %s, "
-          "\"wall_vs_k1\": %.2f, \"cores_limited\": %s}%s\n",
+          "\"wall_vs_k1\": %s, \"cores_limited\": %s}%s\n",
           m.name.c_str(), m.wall_ms,
           static_cast<unsigned long long>(m.elapsed_cycles),
           u64_or_null(m.stats.epochs, sharded).c_str(),
@@ -240,7 +250,8 @@ void print_json(const std::vector<Point>& points) {
           u64_or_null(m.stats.critical_path_events, sharded).c_str(),
           u64_or_null(m.stats.fused_epochs, sharded).c_str(),
           u64_or_null(m.stats.barriers, sharded).c_str(),
-          parallelism_or_null(m, sharded).c_str(), k1.wall_ms / m.wall_ms,
+          parallelism_or_null(m, sharded).c_str(),
+          speedup_or_null(k1.wall_ms / m.wall_ms, cores_limited).c_str(),
           cores_limited ? "true" : "false", i + 1 < p.modes.size() ? "," : "");
     }
     std::printf("      }\n    }%s\n", pi + 1 < points.size() ? "," : "");
@@ -258,13 +269,28 @@ void print_table(const Point& p) {
               "elapsed_cycles", "epochs", "barriers", "event_parallelism",
               "wall_vs_k1");
   const ModeResult& k1 = p.baseline();
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool any_limited = false;
   for (const ModeResult& m : p.modes) {
-    std::printf("%-10s %12.2f %16llu %10llu %10llu %18.2f %12.2f\n",
+    const bool cores_limited = m.shards > 0 && hw < m.shards;
+    char speedup[32];
+    if (cores_limited) {
+      std::snprintf(speedup, sizeof speedup, "n/a*");
+      any_limited = true;
+    } else {
+      std::snprintf(speedup, sizeof speedup, "%.2f", k1.wall_ms / m.wall_ms);
+    }
+    std::printf("%-10s %12.2f %16llu %10llu %10llu %18.2f %12s\n",
                 m.name.c_str(), m.wall_ms,
                 static_cast<unsigned long long>(m.elapsed_cycles),
                 static_cast<unsigned long long>(m.stats.epochs),
                 static_cast<unsigned long long>(m.stats.barriers),
-                event_parallelism(m), k1.wall_ms / m.wall_ms);
+                event_parallelism(m), speedup);
+  }
+  if (any_limited) {
+    std::printf("  * cores_limited: host has %u core(s), fewer than the shard "
+                "count — wall clock measures thread thrash, not speedup\n",
+                hw);
   }
 }
 

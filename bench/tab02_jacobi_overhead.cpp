@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "tab02_jacobi_overhead");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("table", "tab02");
   reporter.add_config("app", "jacobi");
   apps::JacobiConfig cfg = bench::fast_mode() ? apps::JacobiConfig{256, 5, 16}

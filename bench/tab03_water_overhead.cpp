@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "tab03_water_overhead");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("table", "tab03");
   reporter.add_config("app", "water");
   apps::WaterConfig cfg{216, 2};

@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "tab04_cholesky_overhead");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("table", "tab04");
   reporter.add_config("app", "cholesky");
   apps::CholeskyConfig cfg = apps::CholeskyConfig::bcsstk14();

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace cni;
   obs::Reporter reporter(argc, argv, "tab05_cellsize");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
   reporter.add_config("table", "tab05");
   const bool fast = bench::fast_mode();
   apps::JacobiConfig jac = fast ? apps::JacobiConfig{256, 5, 16}

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Regenerates BENCH_engine.json, BENCH_datapath.json, BENCH_obs.json and
-BENCH_parsim.json.
+"""Regenerates BENCH_engine.json, BENCH_datapath.json, BENCH_obs.json,
+BENCH_parsim.json and BENCH_topology.json.
 
 Usage: scripts/bench_engine.py [build-dir]
 
@@ -9,9 +9,12 @@ events/sec from micro_engine, lookups/sec from micro_mcache, the
 zero-copy-vs-legacy data-path comparison from micro_datapath (throughput,
 speedup ratios, and the steady-state heap-allocation count), the
 observability overhead ladder from micro_obs (compiled-out reference vs
-runtime-off residue vs live metrics vs full tracing), and the sharded-engine
+runtime-off residue vs live metrics vs full tracing), the sharded-engine
 scaling points from micro_parsim (wall clock plus the machine-independent
-event-parallelism bound per shard count).
+event-parallelism bound per shard count), and the fabric-topology scaling
+grid from micro_topology (banyan/Clos/torus at 256/1024/4096 nodes under
+incast, permutation and hot-spot traffic, with each topology's exported
+per-shard-pair lookahead range).
 
 Every context block records CNI_BENCH_JOBS / CNI_SIM_SHARDS and the resolved
 sweep worker count so runs taken under different fan-out settings are never
@@ -149,12 +152,16 @@ def write_obs() -> None:
     print(f"wrote {path}")
 
 
-PARSIM_SCHEMA_VERSION = 2
+PARSIM_SCHEMA_VERSION = 3
 
 # Per-mode fields micro_parsim --json must emit. The epoch statistics are
 # null (not 0) in legacy mode — a single-engine run has no epochs, and the
 # v1 report's `"epochs": 0` next to `"wall_speedup_vs_k1": 0.8` read like a
-# regression instead of a non-measurement.
+# regression instead of a non-measurement. Schema v3 extends the same rule to
+# wall_vs_k1: on a host with fewer cores than shard threads the ratio
+# measures scheduler thrash, so the emitter writes null and sets
+# cores_limited — a quotable number and the flag that disqualifies it can
+# never coexist.
 PARSIM_EPOCH_FIELDS = ("epochs", "events_total", "critical_path_events",
                        "fused_epochs", "barriers", "event_parallelism")
 PARSIM_MODE_FIELDS = ("wall_ms", "elapsed_cycles", "wall_vs_k1",
@@ -162,10 +169,11 @@ PARSIM_MODE_FIELDS = ("wall_ms", "elapsed_cycles", "wall_vs_k1",
 
 
 def validate_parsim(report: dict) -> None:
-    """Shape contract for BENCH_parsim.json points (schema v2): every point
-    carries num_cpus, every mode wall_vs_k1 + cores_limited, and the epoch
-    stats are null exactly in legacy mode. Raises ValueError on violation so
-    a drifting micro_parsim emitter can't silently corrupt the pinned file."""
+    """Shape contract for BENCH_parsim.json points (schema v3): every point
+    carries num_cpus, every mode wall_vs_k1 + cores_limited, the epoch stats
+    are null exactly in legacy mode, and wall_vs_k1 is null exactly when the
+    run was cores_limited. Raises ValueError on violation so a drifting
+    micro_parsim emitter can't silently corrupt the pinned file."""
     for pname, point in report["points"].items():
         where = f"points.{pname}"
         if not isinstance(point.get("num_cpus"), int):
@@ -179,6 +187,13 @@ def validate_parsim(report: dict) -> None:
                     raise ValueError(f"{mwhere}: missing {field}")
             if not isinstance(mode["cores_limited"], bool):
                 raise ValueError(f"{mwhere}: cores_limited must be boolean")
+            if mode["cores_limited"] and mode["wall_vs_k1"] is not None:
+                raise ValueError(
+                    f"{mwhere}: wall_vs_k1 must be null when cores_limited "
+                    "(the ratio measures thread thrash, not speedup)")
+            if not mode["cores_limited"] and mode["wall_vs_k1"] is None:
+                raise ValueError(
+                    f"{mwhere}: wall_vs_k1 missing on a full-width run")
             is_legacy = mname == "legacy"
             for field in PARSIM_EPOCH_FIELDS:
                 if is_legacy and mode[field] is not None:
@@ -187,6 +202,25 @@ def validate_parsim(report: dict) -> None:
                 if not is_legacy and mode[field] is None:
                     raise ValueError(
                         f"{mwhere}: {field} must be measured in sharded mode")
+
+
+def warn_cores_limited(report: dict, what: str) -> None:
+    """Prints a loud banner when any point in `report` ran with fewer host
+    cores than shard threads: those wall numbers are excluded from headline
+    speedups, and the machine-independent stats (event_parallelism, barrier
+    counts) are the only figures worth quoting from such a run."""
+    limited = sorted(
+        f"{pname}/{mname}"
+        for pname, point in report["points"].items()
+        for mname, mode in point["modes"].items()
+        if mode.get("cores_limited")
+    )
+    if limited:
+        print(f"WARNING: {what}: {len(limited)} mode(s) ran cores_limited "
+              "(host cores < shard threads).", file=sys.stderr)
+        print("WARNING: their wall_vs_k1 is null and MUST NOT be quoted as "
+              "speedup; cite event_parallelism instead.", file=sys.stderr)
+        print(f"WARNING: affected: {', '.join(limited)}", file=sys.stderr)
 
 
 def write_parsim() -> None:
@@ -201,6 +235,7 @@ def write_parsim() -> None:
     ).stdout
     report = json.loads(out)
     validate_parsim(report)
+    warn_cores_limited(report, "BENCH_parsim")
 
     path = ROOT / "BENCH_parsim.json"
     # Keep prior runs: wall numbers are host-bound (a cores_limited run on a
@@ -232,6 +267,84 @@ def write_parsim() -> None:
     print(f"wrote {path}")
 
 
+TOPOLOGY_SCHEMA_VERSION = 1
+
+TOPOLOGY_MODE_FIELDS = ("wall_ms", "elapsed_cycles", "events_total",
+                        "events_per_sec", "epochs", "barriers",
+                        "event_parallelism", "wall_vs_k1", "cores_limited")
+TOPOLOGY_LOOKAHEAD_FIELDS = ("uniform_ns", "matrix_min_ns", "matrix_max_ns",
+                             "shards")
+TOPOLOGIES = ("banyan", "clos", "torus")
+SCENARIOS = ("incast", "permutation", "hotspot")
+TOPOLOGY_NODE_COUNTS = (256, 1024, 4096)
+
+
+def validate_topology(report: dict) -> None:
+    """Shape contract for BENCH_topology.json (schema v1): the full
+    topology x scenario x node-count grid is present, every point carries
+    the lookahead block (uniform floor plus matrix off-diagonal range), each
+    mode has the parsim honesty fields (wall_vs_k1 null iff cores_limited),
+    and K=1/K=4 agree on simulated elapsed cycles."""
+    points = report["points"]
+    for topo in TOPOLOGIES:
+        for sc in SCENARIOS:
+            for nodes in TOPOLOGY_NODE_COUNTS:
+                key = f"{topo}/{sc}/{nodes}"
+                if key not in points:
+                    raise ValueError(f"missing point {key}")
+    for pname, point in points.items():
+        where = f"points.{pname}"
+        for field in TOPOLOGY_LOOKAHEAD_FIELDS:
+            if field not in point.get("lookahead", {}):
+                raise ValueError(f"{where}: lookahead missing {field}")
+        la = point["lookahead"]
+        if la["matrix_min_ns"] < la["uniform_ns"] - 2 * 150:
+            raise ValueError(
+                f"{where}: matrix floor below the topology's own bound")
+        cycles = set()
+        for mname, mode in point["modes"].items():
+            mwhere = f"{where}.modes.{mname}"
+            for field in TOPOLOGY_MODE_FIELDS:
+                if field not in mode:
+                    raise ValueError(f"{mwhere}: missing {field}")
+            if mode["cores_limited"] and mode["wall_vs_k1"] is not None:
+                raise ValueError(
+                    f"{mwhere}: wall_vs_k1 must be null when cores_limited")
+            cycles.add(mode["elapsed_cycles"])
+        if len(cycles) != 1:
+            raise ValueError(f"{where}: elapsed_cycles diverged across K")
+
+
+def write_topology() -> None:
+    # micro_topology is a plain binary (no google-benchmark); the full sweep
+    # covers 256/1024/4096 nodes for all three topologies, so this is the
+    # slowest bench here (~a minute on one core).
+    out = subprocess.run(
+        [str(BUILD / "bench" / "micro_topology"), "--json"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    report = json.loads(out)
+    validate_topology(report)
+    warn_cores_limited(report, "BENCH_topology")
+
+    result = {
+        "schema_version": TOPOLOGY_SCHEMA_VERSION,
+        "context": {
+            "host": platform.node(),
+            "num_cpus": os.cpu_count(),
+            "date": datetime.datetime.now().astimezone().isoformat(timespec="seconds"),
+            **env_context(),
+        },
+        **report,
+    }
+
+    path = ROOT / "BENCH_topology.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     engine = run("micro_engine")
     mcache = run("micro_mcache")
@@ -255,6 +368,7 @@ def main() -> None:
     write_datapath()
     write_obs()
     write_parsim()
+    write_topology()
 
 
 if __name__ == "__main__":

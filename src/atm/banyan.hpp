@@ -24,6 +24,7 @@ class BanyanSwitch {
 
   [[nodiscard]] std::uint32_t ports() const { return ports_; }
   [[nodiscard]] std::uint32_t stages() const { return stages_; }
+  [[nodiscard]] sim::SimDuration latency() const { return fabric_latency_; }
 
   /// Routes a burst entering input `src` at time `t`, destined for output
   /// `dst`, that occupies each traversed resource for `burst` time.

@@ -24,11 +24,17 @@ Fabric::Fabric(sim::Engine& engine, const FabricParams& params)
     : engine_(engine),
       params_(params),
       geometry_(params.cell_mode),
-      switch_(params.switch_ports, params.switch_latency),
+      topology_(make_topology(params)),
       uplinks_(params.switch_ports),
       downlinks_(params.switch_ports),
       hooks_(params.switch_ports),
       lanes_(1) {}
+
+const BanyanSwitch& Fabric::fabric_switch() const {
+  const BanyanSwitch* sw = topology_->single_stage();
+  CNI_CHECK_MSG(sw != nullptr, "fabric_switch() on a non-banyan topology");
+  return *sw;
+}
 
 void Fabric::attach(NodeId node, DeliveryHook hook) {
   CNI_CHECK(node < hooks_.size());
@@ -51,11 +57,16 @@ std::uint64_t Fabric::cells_sent() const {
 sim::LookaheadMatrix Fabric::lookahead_matrix(const sim::ShardPlan& plan) const {
   sim::LookaheadMatrix m;
   m.shards = plan.shards;
-  m.entries.assign(static_cast<std::size_t>(plan.shards) * plan.shards,
-                   min_lookahead());
+  m.entries.assign(static_cast<std::size_t>(plan.shards) * plan.shards, 0);
+  // The topology supplies the zero-load traversal floor between each pair of
+  // blocks; every path additionally pays the uplink propagation leg before
+  // the fabric and the downlink one after, so both legs join the bound.
+  topology_->fill_block_latency(plan, m);
   for (std::uint32_t r = 0; r < plan.shards; ++r) {
-    m.entries[static_cast<std::size_t>(r) * plan.shards + r] =
-        sim::LookaheadMatrix::kUnbounded;
+    for (std::uint32_t c = 0; c < plan.shards; ++c) {
+      sim::SimDuration& e = m.entries[static_cast<std::size_t>(r) * plan.shards + c];
+      e = r == c ? sim::LookaheadMatrix::kUnbounded : e + 2 * params_.propagation;
+    }
   }
   return m;
 }
@@ -72,7 +83,7 @@ void Fabric::enable_sharding(std::vector<sim::Engine*> engine_of_node,
   barrier_role.assert_held();
   lane_role.assert_held();
   sharded_ = true;
-  aligned_ = plan.aligned();
+  local_ok_ = topology_->concurrent_local_routing(plan);
   shards_ = plan.shards;
   ledger_ = ledger;
   engine_of_node_ = std::move(engine_of_node);
@@ -80,15 +91,15 @@ void Fabric::enable_sharding(std::vector<sim::Engine*> engine_of_node,
   send_seq_.assign(hooks_.size(), 0);
   outboxes_.resize(shards_);
   lanes_.resize(shards_);
-  switch_.set_lanes(shards_);
+  topology_->set_lanes(shards_);
 }
 
 sim::SimTime Fabric::route_and_schedule(sim::SimTime head, sim::SimDuration burst,
                                         Frame frame, std::uint32_t lane) {
   const NodeId dst = frame.dst;
-  // Cut-through: the burst's head crosses the fabric stage by stage, delayed
-  // by contention with earlier bursts sharing an element output.
-  const sim::SimTime head_out = switch_.route(head, frame.src, dst, burst, lane);
+  // Cut-through: the burst's head crosses the fabric stage by stage (or hop
+  // by hop), delayed by contention with earlier bursts sharing a resource.
+  const sim::SimTime head_out = topology_->route(head, frame.src, dst, burst, lane);
 
   // Downlink occupancy + propagation to the destination NIC. The last bit
   // arrives when the burst finishes serializing down the link.
@@ -142,9 +153,10 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
   if (sharded_) {
     // The switch and downlink are cross-node resources: defer the traversal
     // and replay it in canonical (head, src, seq) order later. Intra-shard
-    // transfers under an aligned plan park in the shard's private local
-    // queue (routed by the shard itself mid-epoch: their paths are disjoint
-    // from every other shard's); everything else goes to the outbox for the
+    // transfers park in the shard's private local queue when the topology
+    // granted concurrent local routing (the shard routes them itself
+    // mid-epoch: their paths are disjoint from every other shard's);
+    // everything else goes to the outbox for the
     // next barrier drain and is recorded in the fusion ledger, whose stop
     // rule ends a fused epoch before the delivery could be missed.
     const std::uint32_t ss = shard_of_node_[src];
@@ -153,7 +165,7 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
     w.burst = serialization;
     w.seq = ++send_seq_[src];
     w.frame = std::move(frame);
-    if (aligned_ && shard_of_node_[dst] == ss) {
+    if (local_ok_ && shard_of_node_[dst] == ss) {
       Lane& l = lanes_[ss];
       if (w.head < l.fresh_min) l.fresh_min = w.head;
       l.fresh.push_back(std::move(w));

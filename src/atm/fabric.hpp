@@ -1,33 +1,27 @@
-// The cluster interconnect: host links + banyan switch.
+// The cluster interconnect: host links + a switching topology.
 //
-// Every node hangs off one port of a 32-port banyan ATM switch via a
-// 622 Mb/s (STS-12) full-duplex link. The fabric computes frame delivery
-// timing — uplink serialization (with the per-cell header tax), propagation,
-// fabric traversal with contention, downlink occupancy — and schedules the
+// Every node hangs off one port of the fabric via a 622 Mb/s (STS-12)
+// full-duplex link. The fabric computes frame delivery timing — uplink
+// serialization (with the per-cell header tax), propagation, topology
+// traversal with contention (single-stage banyan by default; Clos and torus
+// via FabricParams::topology), downlink occupancy — and schedules the
 // delivery callback at the receiving NIC.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
-#include "atm/banyan.hpp"
 #include "atm/cell.hpp"
 #include "atm/packet.hpp"
+#include "atm/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded.hpp"
 #include "sim/time.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace cni::atm {
-
-struct FabricParams {
-  std::uint64_t link_bits_per_sec = util::kSts12BitsPerSec;
-  sim::SimDuration switch_latency = 500 * sim::kNanosecond;  // Table 1
-  sim::SimDuration propagation = 150 * sim::kNanosecond;     // Table 1 ("network latency")
-  std::uint32_t switch_ports = 32;
-  CellMode cell_mode = CellMode::kStandard;
-};
 
 /// Timing of one frame's journey, returned to the sending NIC.
 struct DeliveryTiming {
@@ -90,34 +84,39 @@ class Fabric {
   void attach(NodeId node, DeliveryHook hook);
 
   /// Sends `frame`, whose serialization onto the uplink may start at `ready`.
-  /// Legacy mode: routes through the switch and schedules delivery at the
+  /// Legacy mode: routes through the topology and schedules delivery at the
   /// destination immediately. Sharded mode: occupies the uplink (source-local
   /// state) and buffers a WireTransfer — into the shard's private local queue
-  /// when source and destination share a shard under an aligned plan, into
-  /// the shard's outbox (recording the send in the fusion ledger) otherwise.
+  /// when source and destination share a shard and the topology granted
+  /// concurrent local routing for the plan, into the shard's outbox
+  /// (recording the send in the fusion ledger) otherwise.
   DeliveryTiming send(sim::SimTime ready, Frame frame);
 
   // ---- Sharded operation (see sim/sharded.hpp, DESIGN.md §12) ----
 
   /// Minimum cross-node latency the epoch scheduler may exploit: a send
-  /// event at t cannot affect another node before t + min_lookahead().
+  /// event at t cannot affect another node before t + min_lookahead(). The
+  /// traversal floor comes from the topology (banyan: the switch pipeline;
+  /// Clos: one leaf block; torus: one hop), plus the two propagation legs
+  /// every path pays (uplink wire before the fabric, downlink wire after).
   [[nodiscard]] sim::SimDuration min_lookahead() const {
-    return params_.switch_latency + 2 * params_.propagation;
+    return topology_->min_cross_latency() + 2 * params_.propagation;
   }
   /// A buffered head at H is final once every shard passed H - drain_horizon
-  /// (the uplink adds at least one propagation leg before the switch).
+  /// (the uplink adds at least one propagation leg before the fabric).
   [[nodiscard]] sim::SimDuration drain_horizon() const { return params_.propagation; }
   /// A buffered head at H cannot deliver before H + pending_bound().
   [[nodiscard]] sim::SimDuration pending_bound() const {
-    return params_.switch_latency + params_.propagation;
+    return topology_->min_cross_latency() + params_.propagation;
   }
 
-  /// Per-shard-pair lookahead for `plan` (sim::next_epoch_end's matrix).
-  /// The single-stage banyan reaches every port through one shared pipeline,
-  /// so all cross entries equal min_lookahead(); a multi-stage or torus
-  /// fabric (ROADMAP item 2) would return genuinely distance-dependent rows
-  /// computed from the shortest inter-block route, and the epoch scheduler
-  /// picks up the slack with no further changes.
+  /// Per-shard-pair lookahead for `plan` (sim::next_epoch_end's matrix):
+  /// the topology's minimum zero-load traversal between each pair of blocks
+  /// plus the two propagation legs. The single-stage banyan yields uniform
+  /// rows equal to min_lookahead(); Clos and torus yield genuinely
+  /// distance-dependent rows — torus neighbor slabs sit one hop apart while
+  /// far slabs earn many hops of extra slack — and the epoch scheduler
+  /// exploits them with no further changes.
   [[nodiscard]] sim::LookaheadMatrix lookahead_matrix(const sim::ShardPlan& plan) const;
 
   /// Switches the fabric into sharded mode: node i's deliveries are
@@ -133,17 +132,18 @@ class Fabric {
   /// shard execution): flushes every outbox *and* every shard-local queue
   /// into the pending set with one size-reserved sorted merge (no
   /// per-transfer allocation), then routes each transfer with head < limit
-  /// through the banyan + downlink in canonical (head, src, seq) order,
+  /// through the topology + downlink in canonical (head, src, seq) order,
   /// scheduling delivery on the destination shard's engine. Returns the
   /// earliest still-buffered head, or sim::kNever.
   sim::SimTime drain(sim::SimTime limit);
 
   /// Fused-epoch fast path: routes `shard`'s own intra-block transfers with
   /// head < limit, in canonical order, and returns the earliest remaining
-  /// local head. Callable concurrently for *different* shards: under an
-  /// aligned plan (the only way transfers enter local queues) intra-block
-  /// paths of different blocks traverse disjoint switch resources, and the
-  /// destination downlink/engine belong to the owning shard.
+  /// local head. Callable concurrently for *different* shards: transfers
+  /// only enter local queues when Topology::concurrent_local_routing(plan)
+  /// held — intra-block paths of different blocks traverse disjoint
+  /// contention resources — and the destination downlink/engine belong to
+  /// the owning shard.
   sim::SimTime local_drain(std::uint32_t shard, sim::SimTime limit);
 
   /// Earliest unrouted transfer in `shard`'s local queue (kNever when none).
@@ -153,7 +153,9 @@ class Fabric {
   [[nodiscard]] bool sharded() const { return sharded_; }
   [[nodiscard]] std::uint64_t frames_sent() const;
   [[nodiscard]] std::uint64_t cells_sent() const;
-  [[nodiscard]] const BanyanSwitch& fabric_switch() const { return switch_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  /// The banyan when the fabric is single-stage; check-fails otherwise.
+  [[nodiscard]] const BanyanSwitch& fabric_switch() const;
 
  private:
   /// Per-shard frame/cell tallies and local transfer queue, cache-line
@@ -172,11 +174,12 @@ class Fabric {
     std::vector<WireTransfer> scratch;
   };
 
-  /// The switch-to-NIC leg shared by both modes: banyan traversal, downlink
-  /// occupancy, delivery event. `lane` charges the statistics tallies; the
-  /// coordinator's barrier drains use lane 0, shard s's local drains lane s
-  /// (sound: barrier drains never run concurrently with anything, and local
-  /// drains of different shards touch disjoint resources).
+  /// The switch-to-NIC leg shared by both modes: topology traversal,
+  /// downlink occupancy, delivery event. `lane` charges the statistics
+  /// tallies; the coordinator's barrier drains use lane 0, shard s's local
+  /// drains lane s (sound: barrier drains never run concurrently with
+  /// anything, and local drains of different shards touch disjoint
+  /// resources).
   sim::SimTime route_and_schedule(sim::SimTime head, sim::SimDuration burst, Frame frame,
                                   std::uint32_t lane) CNI_REQUIRES(lane_role);
 
@@ -186,7 +189,7 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   CellGeometry geometry_;
-  BanyanSwitch switch_;
+  std::unique_ptr<Topology> topology_;
   std::vector<sim::ServiceQueue> uplinks_;
   std::vector<sim::ServiceQueue> downlinks_;
   std::vector<DeliveryHook> hooks_;
@@ -195,7 +198,8 @@ class Fabric {
   // queue, drained by its own shard); the epoch machinery's release/acquire
   // edges are the happens-before between the two sides.
   bool sharded_ = false;
-  bool aligned_ = false;  ///< plan blocks equal + power-of-two: local fast path on
+  /// Topology granted concurrent_local_routing(plan): local fast path on.
+  bool local_ok_ = false;
   std::uint32_t shards_ = 1;
   sim::FusionLedger* ledger_ = nullptr;
   std::vector<sim::Engine*> engine_of_node_;

@@ -1,8 +1,12 @@
 #include "cluster/params.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <string_view>
 
+#include "obs/report.hpp"
 #include "sim/time.hpp"
 
 namespace cni::cluster {
@@ -31,6 +35,40 @@ std::uint32_t default_sim_shards() {
 bool default_sim_fusion() { return env_switch_on("CNI_SIM_FUSION"); }
 
 bool default_sim_pair_lookahead() { return env_switch_on("CNI_SIM_PAIR_LOOKAHEAD"); }
+
+void apply_fabric_cli(int argc, char** argv, obs::Reporter* report) {
+  atm::TopologyKind kind = atm::default_topology();
+  std::uint32_t ports = atm::default_switch_ports();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--topology=", 11) == 0) {
+      if (!atm::parse_topology(arg + 11, kind)) {
+        std::fprintf(stderr,
+                     "error: unknown topology '%s' (--topology takes banyan, clos or "
+                     "torus)\n",
+                     arg + 11);
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--ports=", 8) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg + 8, &end, 10);
+      if (end == arg + 8 || *end != '\0' || v < 2 || v > 65536 ||
+          !util::is_pow2(static_cast<std::uint64_t>(v))) {
+        std::fprintf(stderr,
+                     "error: invalid --ports=%s (the fabric port count must be a power "
+                     "of two between 2 and 65536, e.g. --ports=4096)\n",
+                     arg + 8);
+        std::exit(2);
+      }
+      ports = static_cast<std::uint32_t>(v);
+    }
+  }
+  atm::set_default_fabric_shape(kind, ports);
+  if (report != nullptr) {
+    report->add_config("topology", atm::topology_name(kind));
+    report->add_config("fabric_ports", std::to_string(ports));
+  }
+}
 
 util::Table SimParams::to_table() const {
   util::Table t("Table 1: Simulation Parameters");

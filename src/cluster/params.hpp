@@ -11,6 +11,10 @@
 #include "obs/options.hpp"
 #include "util/table.hpp"
 
+namespace cni::obs {
+class Reporter;
+}  // namespace cni::obs
+
 namespace cni::cluster {
 
 enum class BoardKind {
@@ -38,6 +42,17 @@ inline constexpr std::uint32_t kAutoShards = 0xffffffffu;
 /// Process-default for SimParams::sim_pair_lookahead: CNI_SIM_PAIR_LOOKAHEAD,
 /// default on; `0`/`off` fall back to the single global lookahead bound.
 [[nodiscard]] bool default_sim_pair_lookahead();
+
+/// Applies `--topology=banyan|clos|torus` and `--ports=N` from argv to the
+/// process-wide fabric-shape defaults (atm::set_default_fabric_shape), so
+/// every SimParams built afterwards picks them up. Validates eagerly —
+/// unknown topology names and non-power-of-two port counts exit(2) with a
+/// message naming the accepted values — and ignores unrelated argv entries
+/// (obs::Reporter's flags and the benchmark's own). When `report` is given,
+/// the effective shape is recorded in the run report's config block, flags
+/// or not, so every artifact says which fabric produced it. Call once at
+/// startup, before any sweep worker builds a SimParams.
+void apply_fabric_cli(int argc, char** argv, obs::Reporter* report = nullptr);
 
 struct SimParams {
   std::uint64_t cpu_freq_hz = 166'000'000;  ///< Table 1: 166 MHz Alpha
