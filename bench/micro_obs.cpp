@@ -6,6 +6,8 @@
 //   ProbeRuntimeOff   macros compiled in, null handles: the shipped default
 //                     (one pointer test per site).
 //   ProbeMetricsOn    histogram + gauge handles live, tracing off.
+//   ProbeCausalOn     trace ring live, metrics handles null — isolates the
+//                     trace-record sites (span + instant + causal).
 //   ProbeTracingOn    full tracing into a ring (the --trace-out path).
 //
 // Plus an end-to-end pair: a small Jacobi run with the runtime trace switch
@@ -42,6 +44,18 @@ void BM_ProbeMetricsOn(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(bench::probe_step_on(ctx));
 }
 BENCHMARK(BM_ProbeMetricsOn);
+
+void BM_ProbeCausalOn(benchmark::State& state) {
+  obs::Options opts;
+  opts.trace = true;
+  opts.trace_capacity = 4096;
+  obs::NodeObs node(0, opts);
+  ProbeCtx ctx;  // hist/gauge stay null: only the trace emits record
+  ctx.node = &node;
+  for (auto _ : state) benchmark::DoNotOptimize(bench::probe_step_on(ctx));
+  state.counters["trace_recorded"] = static_cast<double>(node.ring().recorded());
+}
+BENCHMARK(BM_ProbeCausalOn);
 
 void BM_ProbeTracingOn(benchmark::State& state) {
   obs::Options opts;

@@ -44,6 +44,7 @@
 #include "cluster/cluster.hpp"
 #include "nic/wire.hpp"
 #include "sim/channel.hpp"
+#include "sim/shard_profiler.hpp"
 #include "util/check.hpp"
 
 namespace {
@@ -69,6 +70,7 @@ struct ModeResult {
   double wall_ms = 0;
   std::uint64_t elapsed_cycles = 0;
   cni::sim::EpochStats stats;  // zeros in legacy mode
+  std::vector<cni::sim::ShardProfile> profile;  // empty in legacy mode
 };
 
 cni::cluster::SimParams mode_params(const ModeSpec& spec, std::uint32_t processors) {
@@ -84,8 +86,10 @@ cni::cluster::SimParams mode_params(const ModeSpec& spec, std::uint32_t processo
 ModeResult run_jacobi_mode(const ModeSpec& spec, std::uint32_t processors,
                            const cni::apps::JacobiConfig& cfg) {
   const cni::cluster::SimParams params = mode_params(spec, processors);
+  cni::sim::ShardProfiler prof;
   const auto t0 = std::chrono::steady_clock::now();
-  const cni::apps::RunResult r = cni::apps::run_jacobi(params, cfg);
+  const cni::apps::RunResult r =
+      cni::apps::run_jacobi_profiled(params, cfg, spec.shards > 0 ? &prof : nullptr);
   const auto t1 = std::chrono::steady_clock::now();
 
   ModeResult m;
@@ -94,6 +98,7 @@ ModeResult run_jacobi_mode(const ModeSpec& spec, std::uint32_t processors,
   m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   m.elapsed_cycles = r.elapsed_cycles;
   m.stats = r.parsim;
+  if (prof.enabled()) m.profile = prof.profiles();
   return m;
 }
 
@@ -105,6 +110,8 @@ ModeResult run_pingpong_mode(const ModeSpec& spec, std::uint32_t processors,
   using namespace cni;
   CNI_CHECK(processors % 2 == 0);
   cluster::Cluster cl(mode_params(spec, processors));
+  sim::ShardProfiler prof;
+  if (spec.shards > 0) cl.set_shard_profiler(&prof);
 
   // Request service on every board: bump a header field, reply. On a CNI
   // board this runs on the network processor, so the whole exchange is
@@ -158,6 +165,7 @@ ModeResult run_pingpong_mode(const ModeSpec& spec, std::uint32_t processors,
   m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   m.elapsed_cycles = cl.elapsed_cpu_cycles();
   m.stats = cl.epoch_stats();
+  if (prof.enabled()) m.profile = prof.profiles();
   return m;
 }
 
@@ -208,6 +216,32 @@ std::string parallelism_or_null(const ModeResult& m, bool sharded) {
   return buf;
 }
 
+/// Per-shard wall-time phase breakdown (ms), or null for legacy mode. Like
+/// wall_ms this is host telemetry, not simulation output — BENCH_parsim
+/// consumers read the *shape* (who waited on whom), not the magnitudes.
+std::string shard_profile_json(const ModeResult& m) {
+  if (m.profile.empty()) return "null";
+  std::string out = "[";
+  for (std::size_t s = 0; s < m.profile.size(); ++s) {
+    const cni::sim::ShardProfile& p = m.profile[s];
+    if (s != 0) out += ", ";
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "{\"shard\": %zu", s);
+    out += buf;
+    for (std::size_t ph = 0; ph < cni::sim::kShardPhaseCount; ++ph) {
+      std::snprintf(buf, sizeof buf, ", \"%s_ms\": %.2f",
+                    cni::sim::shard_phase_name(static_cast<cni::sim::ShardPhase>(ph)),
+                    static_cast<double>(p.ns[ph]) / 1e6);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, ", \"transitions\": %llu}",
+                  static_cast<unsigned long long>(p.transitions));
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
 /// wall_vs_k1 is only an honest speedup when the host actually ran the shard
 /// threads in parallel. On a core-starved host the ratio measures scheduler
 /// thrash, not the engine — emit null so downstream tooling can't quote it.
@@ -242,7 +276,8 @@ void print_json(const std::vector<Point>& points) {
           "\"epochs\": %s, \"events_total\": %s, "
           "\"critical_path_events\": %s, \"fused_epochs\": %s, "
           "\"barriers\": %s, \"event_parallelism\": %s, "
-          "\"wall_vs_k1\": %s, \"cores_limited\": %s}%s\n",
+          "\"wall_vs_k1\": %s, \"cores_limited\": %s, "
+          "\"shard_profile\": %s}%s\n",
           m.name.c_str(), m.wall_ms,
           static_cast<unsigned long long>(m.elapsed_cycles),
           u64_or_null(m.stats.epochs, sharded).c_str(),
@@ -252,7 +287,8 @@ void print_json(const std::vector<Point>& points) {
           u64_or_null(m.stats.barriers, sharded).c_str(),
           parallelism_or_null(m, sharded).c_str(),
           speedup_or_null(k1.wall_ms / m.wall_ms, cores_limited).c_str(),
-          cores_limited ? "true" : "false", i + 1 < p.modes.size() ? "," : "");
+          cores_limited ? "true" : "false", shard_profile_json(m).c_str(),
+          i + 1 < p.modes.size() ? "," : "");
     }
     std::printf("      }\n    }%s\n", pi + 1 < points.size() ? "," : "");
   }

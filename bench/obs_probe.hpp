@@ -26,7 +26,8 @@ struct ProbeCtx {
 
   core::MessageCache mcache;
   std::uint64_t va = 0;
-  std::uint64_t t = 0;  ///< synthetic sim-time cursor, ps
+  std::uint64_t t = 0;    ///< synthetic sim-time cursor, ps
+  std::uint32_t seq = 0;  ///< causality-token sequence cursor
 
   // Null by default: the on-variant then measures emit sites whose runtime
   // switch is off. Point them at real handles to measure live recording.

@@ -3,6 +3,13 @@
 BENCH_parsim.json and BENCH_topology.json.
 
 Usage: scripts/bench_engine.py [build-dir]
+       scripts/bench_engine.py --trajectory
+
+With --trajectory no benchmark runs: the script aggregates the current
+payload plus the history blocks of every BENCH_*.json into one cross-PR
+perf-trajectory table (TRAJECTORY.md + BENCH_trajectory.json, also printed
+to stdout) so the headline numbers' drift across sessions is visible in one
+place instead of scattered over five files.
 
 Captures the machine-readable throughput numbers the PR/README quote:
 events/sec from micro_engine, lookups/sec from micro_mcache, the
@@ -29,7 +36,30 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-BUILD = Path(sys.argv[1]) if len(sys.argv) > 1 else ROOT / "build"
+_ARGS = [a for a in sys.argv[1:] if not a.startswith("--")]
+BUILD = Path(_ARGS[0]) if _ARGS else ROOT / "build"
+
+# How many prior payloads each BENCH file keeps. Wall numbers are host-bound
+# (a cores_limited run on a narrow VM understates real speedup), so a re-run
+# on a wider host should sit next to the old point, not erase it.
+HISTORY_DEPTH = 4
+
+
+def load_history(path: Path) -> list:
+    """Prior payloads of `path`, newest first: the current file (minus its own
+    history block) is pushed onto its history list before being overwritten.
+    This is what --trajectory later walks to chart the cross-PR drift."""
+    if not path.exists():
+        return []
+    try:
+        prev = json.loads(path.read_text())
+    except ValueError:
+        return []
+    history = prev.get("history", [])
+    snapshot = {k: v for k, v in prev.items() if k != "history"}
+    if snapshot:
+        history.insert(0, snapshot)
+    return history[:HISTORY_DEPTH]
 
 
 def run(binary: str) -> dict:
@@ -102,6 +132,7 @@ def write_datapath() -> None:
         result[key] = series
 
     path = ROOT / "BENCH_datapath.json"
+    result["history"] = load_history(path)
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
 
@@ -135,6 +166,11 @@ def write_obs() -> None:
             "runtime_off_overhead_pct": pct_over_base("BM_ProbeRuntimeOff"),
             "metrics_on_ns": round(ns("BM_ProbeMetricsOn"), 2),
             "metrics_on_overhead_pct": pct_over_base("BM_ProbeMetricsOn"),
+            # Trace ring live, metrics handles null: the span + instant +
+            # causal record sites alone — the cost added per hot-path op by
+            # causal span propagation when tracing is actually on.
+            "causal_on_ns": round(ns("BM_ProbeCausalOn"), 2),
+            "causal_on_overhead_pct": pct_over_base("BM_ProbeCausalOn"),
             "tracing_on_ns": round(ns("BM_ProbeTracingOn"), 2),
             "tracing_on_overhead_pct": pct_over_base("BM_ProbeTracingOn"),
         },
@@ -148,11 +184,12 @@ def write_obs() -> None:
     }
 
     path = ROOT / "BENCH_obs.json"
+    result["history"] = load_history(path)
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
 
 
-PARSIM_SCHEMA_VERSION = 3
+PARSIM_SCHEMA_VERSION = 4
 
 # Per-mode fields micro_parsim --json must emit. The epoch statistics are
 # null (not 0) in legacy mode — a single-engine run has no epochs, and the
@@ -161,11 +198,16 @@ PARSIM_SCHEMA_VERSION = 3
 # wall_vs_k1: on a host with fewer cores than shard threads the ratio
 # measures scheduler thrash, so the emitter writes null and sets
 # cores_limited — a quotable number and the flag that disqualifies it can
-# never coexist.
+# never coexist. Schema v4 adds shard_profile: per-shard wall-time phase
+# attribution (idle/busy/drain/barrier_wait/fused_window) from the shard
+# execution profiler — null in legacy mode, one entry per shard otherwise —
+# so the wall_vs_k1-vs-event_parallelism gap finally has a breakdown.
 PARSIM_EPOCH_FIELDS = ("epochs", "events_total", "critical_path_events",
                        "fused_epochs", "barriers", "event_parallelism")
 PARSIM_MODE_FIELDS = ("wall_ms", "elapsed_cycles", "wall_vs_k1",
-                      "cores_limited") + PARSIM_EPOCH_FIELDS
+                      "cores_limited", "shard_profile") + PARSIM_EPOCH_FIELDS
+PARSIM_PROFILE_FIELDS = ("shard", "idle_ms", "busy_ms", "drain_ms",
+                         "barrier_wait_ms", "fused_window_ms", "transitions")
 
 
 def validate_parsim(report: dict) -> None:
@@ -202,6 +244,31 @@ def validate_parsim(report: dict) -> None:
                 if not is_legacy and mode[field] is None:
                     raise ValueError(
                         f"{mwhere}: {field} must be measured in sharded mode")
+            profile = mode["shard_profile"]
+            if is_legacy:
+                if profile is not None:
+                    raise ValueError(
+                        f"{mwhere}: shard_profile must be null in legacy mode")
+            else:
+                if not isinstance(profile, list) or not profile:
+                    raise ValueError(
+                        f"{mwhere}: shard_profile must be a non-empty list")
+                # Mode names encode the shard count ("k4-nofuse" -> 4): one
+                # profile entry per shard, indexed densely from 0.
+                want = int(mname[1:].split("-")[0]) if mname[1:2].isdigit() else None
+                if want is not None and len(profile) != want:
+                    raise ValueError(
+                        f"{mwhere}: shard_profile has {len(profile)} entries, "
+                        f"expected {want}")
+                for idx, slot in enumerate(profile):
+                    for field in PARSIM_PROFILE_FIELDS:
+                        if field not in slot:
+                            raise ValueError(
+                                f"{mwhere}.shard_profile[{idx}]: missing {field}")
+                    if slot["shard"] != idx:
+                        raise ValueError(
+                            f"{mwhere}.shard_profile[{idx}]: shard index "
+                            f"{slot['shard']} out of order")
 
 
 def warn_cores_limited(report: dict, what: str) -> None:
@@ -238,19 +305,6 @@ def write_parsim() -> None:
     warn_cores_limited(report, "BENCH_parsim")
 
     path = ROOT / "BENCH_parsim.json"
-    # Keep prior runs: wall numbers are host-bound (a cores_limited run on a
-    # narrow VM understates real speedup), so a re-run on a wider host should
-    # sit next to the old point, not erase it.
-    history = []
-    if path.exists():
-        try:
-            prev = json.loads(path.read_text())
-            history = prev.get("history", [])
-            if "points" in prev:
-                history.insert(0, {"context": prev.get("context"),
-                                   "points": prev["points"]})
-        except ValueError:
-            pass
     result = {
         "schema_version": PARSIM_SCHEMA_VERSION,
         "context": {
@@ -260,7 +314,7 @@ def write_parsim() -> None:
             **env_context(),
         },
         **report,
-        "history": history[:4],
+        "history": load_history(path),
     }
 
     path.write_text(json.dumps(result, indent=2) + "\n")
@@ -341,11 +395,152 @@ def write_topology() -> None:
     }
 
     path = ROOT / "BENCH_topology.json"
+    result["history"] = load_history(path)
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
 
 
+def _num(d, *path):
+    """Digs `path` out of nested dicts, returning None on any missing key —
+    history blocks written by older schema versions may lack newer fields."""
+    cur = d
+    for key in path:
+        if not isinstance(cur, dict) or key not in cur:
+            return None
+        cur = cur[key]
+    return cur
+
+
+def _headline_engine(s: dict) -> dict:
+    rates = s.get("engine_events_per_sec") or {}
+    mcache = s.get("mcache_lookups_per_sec") or {}
+    return {
+        "peak_engine_events_per_sec": max(rates.values(), default=None),
+        "peak_mcache_lookups_per_sec": max(mcache.values(), default=None),
+    }
+
+
+def _headline_datapath(s: dict) -> dict:
+    return {
+        "page_round_trip_4096_speedup": _num(s, "page_round_trip", "4096", "speedup"),
+        "diff_apply_4096_speedup": _num(s, "diff_apply", "4096", "speedup"),
+        "heap_allocs_per_op": _num(s, "page_round_trip", "4096", "heap_allocs_per_op"),
+    }
+
+
+def _headline_obs(s: dict) -> dict:
+    return {
+        "probe_runtime_off_pct": _num(s, "probe", "runtime_off_overhead_pct"),
+        "probe_tracing_on_pct": _num(s, "probe", "tracing_on_overhead_pct"),
+        "jacobi_tracing_pct": _num(s, "jacobi_end_to_end", "tracing_on_overhead_pct"),
+    }
+
+
+def _headline_parsim(s: dict) -> dict:
+    points = s.get("points") or {}
+    k4 = _num(points, "jacobi", "modes", "k4") or {}
+    limited = sum(1 for p in points.values()
+                  for m in (p.get("modes") or {}).values()
+                  if m.get("cores_limited"))
+    return {
+        "jacobi_k4_event_parallelism": k4.get("event_parallelism"),
+        "jacobi_k4_wall_vs_k1": k4.get("wall_vs_k1"),
+        "cores_limited_modes": limited,
+    }
+
+
+def _headline_topology(s: dict) -> dict:
+    best_rate = None
+    best_par = None
+    for p in (s.get("points") or {}).values():
+        k4 = (p.get("modes") or {}).get("k4") or {}
+        rate = k4.get("events_per_sec")
+        par = k4.get("event_parallelism")
+        if rate is not None and (best_rate is None or rate > best_rate):
+            best_rate = rate
+        if par is not None and (best_par is None or par > best_par):
+            best_par = par
+    return {
+        "peak_k4_events_per_sec": best_rate,
+        "peak_k4_event_parallelism": best_par,
+    }
+
+
+TRAJECTORY_BENCHES = (
+    ("engine", "BENCH_engine.json", _headline_engine),
+    ("datapath", "BENCH_datapath.json", _headline_datapath),
+    ("obs", "BENCH_obs.json", _headline_obs),
+    ("parsim", "BENCH_parsim.json", _headline_parsim),
+    ("topology", "BENCH_topology.json", _headline_topology),
+)
+
+
+def write_trajectory() -> None:
+    """Aggregates the current payload plus the history blocks of every
+    BENCH_*.json into one cross-PR perf trajectory: BENCH_trajectory.json for
+    machines, TRAJECTORY.md for humans, and the markdown echoed to stdout so
+    the CI bench job surfaces it in the log."""
+    benches = {}
+    for name, fname, headline in TRAJECTORY_BENCHES:
+        path = ROOT / fname
+        if not path.exists():
+            continue
+        try:
+            current = json.loads(path.read_text())
+        except ValueError:
+            continue
+        snapshots = [{k: v for k, v in current.items() if k != "history"}]
+        snapshots += [s for s in current.get("history", []) if isinstance(s, dict)]
+        rows = []
+        for snap in snapshots:
+            ctx = snap.get("context") or {}
+            rows.append({
+                "date": (ctx.get("date") or "")[:10] or None,
+                "host": ctx.get("host"),
+                "num_cpus": ctx.get("num_cpus"),
+                **headline(snap),
+            })
+        benches[name] = rows
+
+    out_json = ROOT / "BENCH_trajectory.json"
+    out_json.write_text(json.dumps({"schema_version": 1, "benches": benches},
+                                   indent=2) + "\n")
+
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Headline numbers per benchmark family, newest row first; older rows",
+        f"come from each BENCH file's history block (capped at {HISTORY_DEPTH}",
+        "entries). Wall-clock columns are host-bound — compare rows only when",
+        "host/num_cpus match. Regenerated by `scripts/bench_engine.py",
+        "--trajectory` (and automatically after a full bench run).",
+        "",
+    ]
+    for name, rows in benches.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        if not rows:
+            lines.extend(["(no data)", ""])
+            continue
+        cols = list(rows[0].keys())
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join(" --- " for _ in cols) + "|")
+        for row in rows:
+            cells = ["-" if row.get(c) is None else str(row[c]) for c in cols]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    md = "\n".join(lines)
+    (ROOT / "TRAJECTORY.md").write_text(md)
+    print(md)
+    print(f"wrote {out_json}")
+    print(f"wrote {ROOT / 'TRAJECTORY.md'}")
+
+
 def main() -> None:
+    if "--trajectory" in sys.argv[1:]:
+        write_trajectory()
+        return
+
     engine = run("micro_engine")
     mcache = run("micro_mcache")
 
@@ -362,6 +557,7 @@ def main() -> None:
         result["mcache_lookups_per_sec"][b["name"]] = round(1e9 / b["real_time"])
 
     path = ROOT / "BENCH_engine.json"
+    result["history"] = load_history(path)
     path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {path}")
 
@@ -369,6 +565,7 @@ def main() -> None:
     write_obs()
     write_parsim()
     write_topology()
+    write_trajectory()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Pretty-prints and checks cni-critpath JSON (from --critpath-out=).
+
+Usage:
+  scripts/critpath.py CRITPATH.json            # human-readable breakdown
+  scripts/critpath.py CRITPATH.json --check    # CI acceptance gate
+
+The file is written by obs::Reporter when a figure binary runs with
+--critpath-out= (src/obs/critpath.cpp). Per sweep point it holds the
+extracted critical path: the chain of causal spans from the widest tree's
+root to its latest leaf, plus per-stage picosecond buckets that partition
+the end-to-end window.
+
+--check enforces, per point where a path was found:
+  * coverage: the stage buckets sum to >= 95% of the end-to-end window
+    (end_ps - start_ps) — i.e. the attribution accounts for the span;
+  * consistency: attributed_ps equals the sum of the stages object, and
+    the chain's attr_ps entries sum to the chain steps' share of it;
+  * monotonicity: chain steps are sorted by start_ps.
+Exits non-zero listing every violation. Stdlib only; CI has no third-party
+Python dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+COVERAGE_FLOOR = 0.95
+
+
+def fmt_ps(ps: int) -> str:
+    """Picoseconds as a human-readable nanosecond/microsecond figure."""
+    if ps >= 1_000_000:
+        return f"{ps / 1_000_000:.2f} us"
+    if ps >= 1_000:
+        return f"{ps / 1_000:.1f} ns"
+    return f"{ps} ps"
+
+
+def print_point(pt: dict) -> None:
+    print(f"== {pt['label']} ==")
+    if pt.get("trace_truncated"):
+        print("   !! trace truncated: a ring dropped records; chains may be cut")
+    if not pt["found"]:
+        print("   (no causal spans recorded)")
+        return
+    cp = pt["critpath"]
+    total = cp["total_ps"]
+    cov = cp["attributed_ps"] / total * 100 if total else 100.0
+    print(
+        f"   root {cp['root']}  window {fmt_ps(total)}  "
+        f"attributed {cov:.1f}%  chain {cp['steps']} step(s)"
+    )
+    width = max((len(name) for name in cp["stages"]), default=0)
+    for name, ps in cp["stages"].items():
+        if ps == 0:
+            continue
+        share = ps / total * 100 if total else 0.0
+        bar = "#" * int(round(share / 2))
+        print(f"   {name:<{width}}  {fmt_ps(ps):>12}  {share:5.1f}%  {bar}")
+    chain = pt.get("chain", [])
+    if chain:
+        hops = " -> ".join(f"{st['stage']}@n{st['node']}" for st in chain)
+        print(f"   path: {hops}")
+
+
+def check_point(pt: dict) -> list[str]:
+    label = pt["label"]
+    errors = []
+    if not pt["found"]:
+        # A sweep point with tracing on but no causal spans means the probes
+        # never fired — that is a wiring regression, not an empty workload.
+        errors.append(f"{label}: no causal spans found")
+        return errors
+    cp = pt["critpath"]
+    total = cp["total_ps"]
+    if cp["end_ps"] - cp["start_ps"] != total:
+        errors.append(f"{label}: total_ps != end_ps - start_ps")
+    if sum(cp["stages"].values()) != cp["attributed_ps"]:
+        errors.append(f"{label}: stages do not sum to attributed_ps")
+    if total > 0:
+        cov = cp["attributed_ps"] / total
+        if cov < COVERAGE_FLOOR:
+            errors.append(
+                f"{label}: attribution covers {cov * 100:.2f}% of the window "
+                f"(< {COVERAGE_FLOOR * 100:.0f}%)"
+            )
+    chain = pt.get("chain", [])
+    if len(chain) != cp["steps"]:
+        errors.append(f"{label}: chain length {len(chain)} != steps {cp['steps']}")
+    starts = [st["start_ps"] for st in chain]
+    if starts != sorted(starts):
+        errors.append(f"{label}: chain steps not sorted by start_ps")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("critpath", help="cni-critpath JSON (from --critpath-out=)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="validate coverage/consistency instead of pretty-printing",
+    )
+    args = ap.parse_args()
+
+    data = json.loads(Path(args.critpath).read_text())
+    if data.get("schema") != "cni-critpath":
+        print(f"critpath: schema is {data.get('schema')!r}, "
+              "expected 'cni-critpath'", file=sys.stderr)
+        return 1
+
+    if args.check:
+        errors = []
+        for pt in data["points"]:
+            errors += check_point(pt)
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        if errors:
+            print(f"critpath: {len(errors)} violation(s)", file=sys.stderr)
+            return 1
+        n = len(data["points"])
+        print(f"critpath: OK — {n} point(s), all attributed >= "
+              f"{COVERAGE_FLOOR * 100:.0f}% of their windows")
+        return 0
+
+    for pt in data["points"]:
+        print_point(pt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,9 @@ class Checker:
                 return
             for k, v in value.items():
                 self.check(v, inner, f"{where}.{k}")
+        elif type_name.startswith("nullable<"):
+            if value is not None:
+                self.check(value, type_name[len("nullable<") : -1], where)
         elif type_name.startswith("array<"):
             inner = type_name[len("array<") : -1]
             if not isinstance(value, list):
@@ -118,6 +121,30 @@ def validate_metrics(report: dict, schema: dict) -> list[str]:
                 errors.append(
                     f"{where}: totals[{name}]={pt['totals'][name]} != legacy {legacy_v}"
                 )
+
+        # trace_truncated honesty: the per-point flag must match the per-node
+        # drop counters, and the top-level flag must OR the points.
+        dropped = any(node["trace"]["dropped"] > 0 for node in pt["nodes"])
+        if pt["trace_truncated"] != dropped:
+            errors.append(
+                f"{where}: trace_truncated={pt['trace_truncated']} but node "
+                f"rings report dropped={'>0' if dropped else '0'}"
+            )
+
+        # Critpath internal consistency: buckets must sum to attributed_ps and
+        # cover the window (end - start == total).
+        cp = pt["critpath"]
+        if cp is not None:
+            if cp["end_ps"] - cp["start_ps"] != cp["total_ps"]:
+                errors.append(f"{where}: critpath total_ps != end_ps - start_ps")
+            if sum(cp["stages"].values()) != cp["attributed_ps"]:
+                errors.append(f"{where}: critpath stage buckets do not sum to attributed_ps")
+
+    truncated = any(pt["trace_truncated"] for pt in report["points"])
+    if report["trace_truncated"] != truncated:
+        errors.append(
+            f"report: trace_truncated={report['trace_truncated']} but points say {truncated}"
+        )
     return errors
 
 
@@ -170,6 +197,25 @@ def main() -> int:
     if errors:
         print(f"validate_report: {len(errors)} violation(s)", file=sys.stderr)
         return 1
+
+    if report.get("trace_truncated"):
+        dropped_points = [
+            pt["label"] for pt in report["points"] if pt.get("trace_truncated")
+        ]
+        print("=" * 64, file=sys.stderr)
+        print(
+            "WARNING: TRACE TRUNCATED — a trace ring dropped records on "
+            f"{len(dropped_points)} point(s):",
+            file=sys.stderr,
+        )
+        for label in dropped_points:
+            print(f"  - {label}", file=sys.stderr)
+        print(
+            "Causal chains and critpath attribution may be incomplete. "
+            "Re-run with a larger --trace-capacity=.",
+            file=sys.stderr,
+        )
+        print("=" * 64, file=sys.stderr)
 
     n_points = len(report["points"])
     n_accounts = len(report["points"][0]["legacy"]) if n_points else 0

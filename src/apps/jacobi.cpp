@@ -91,8 +91,10 @@ void jacobi_node(dsm::DsmContext& ctx, const JacobiShared& sh) {
 
 }  // namespace
 
-RunResult run_jacobi(const cluster::SimParams& params, const JacobiConfig& config,
-                     double* checksum) {
+namespace {
+
+RunResult run_jacobi_impl(const cluster::SimParams& params, const JacobiConfig& config,
+                          double* checksum, sim::ShardProfiler* prof) {
   return run_app<JacobiShared>(
       params,
       [&](dsm::DsmSystem& dsmsys) {
@@ -106,7 +108,19 @@ RunResult run_jacobi(const cluster::SimParams& params, const JacobiConfig& confi
         sh.sums = dsmsys.alloc_at(params.processors * 8, "jacobi-sums", 0);
         return sh;
       },
-      jacobi_node);
+      jacobi_node, {}, prof);
+}
+
+}  // namespace
+
+RunResult run_jacobi(const cluster::SimParams& params, const JacobiConfig& config,
+                     double* checksum) {
+  return run_jacobi_impl(params, config, checksum, nullptr);
+}
+
+RunResult run_jacobi_profiled(const cluster::SimParams& params, const JacobiConfig& config,
+                              sim::ShardProfiler* prof) {
+  return run_jacobi_impl(params, config, nullptr, prof);
 }
 
 double jacobi_reference_checksum(const JacobiConfig& config) {

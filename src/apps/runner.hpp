@@ -62,13 +62,16 @@ struct RunResult {
 }
 
 /// Runs `body` on every node of a fresh cluster. `setup` allocates the
-/// shared regions and returns the app's shared-address bundle.
+/// shared regions and returns the app's shared-address bundle. `prof`
+/// (optional) attaches a shard execution profiler to the cluster — wall-time
+/// telemetry only, no effect on any simulated result.
 template <typename Shared>
 RunResult run_app(const cluster::SimParams& params,
                   util::FunctionRef<Shared(dsm::DsmSystem&)> setup,
                   util::FunctionRef<void(dsm::DsmContext&, const Shared&)> body,
-                  dsm::DsmParams dsm_params = {}) {
+                  dsm::DsmParams dsm_params = {}, sim::ShardProfiler* prof = nullptr) {
   cluster::Cluster cl(params);
+  cl.set_shard_profiler(prof);
   dsm::DsmSystem dsmsys(cl, dsm_params);
   const Shared shared = setup(dsmsys);
 

@@ -99,12 +99,41 @@ sim::SimTime Fabric::route_and_schedule(sim::SimTime head, sim::SimDuration burs
   const NodeId dst = frame.dst;
   // Cut-through: the burst's head crosses the fabric stage by stage (or hop
   // by hop), delayed by contention with earlier bursts sharing a resource.
-  const sim::SimTime head_out = topology_->route(head, frame.src, dst, burst, lane);
+  // A traced frame (nonzero causal token) additionally collects the per-
+  // category attribution of its route — reads of the same state the route
+  // already advances, so traced and untraced runs time identically.
+  RouteTrace rt;
+  const bool traced = frame.trace != 0;
+  if (traced) {
+    // send() pre-filled the uplink leg into frame.fab; resume from it so the
+    // final breakdown covers the full sar-done -> arrival interval.
+    const FabBreakdown pre = FabBreakdown::unpack(frame.fab);
+    rt.wire = pre.wire_ns * sim::kNanosecond;
+    rt.contend = pre.contend_ns * sim::kNanosecond;
+    rt.credit = pre.credit_ns * sim::kNanosecond;
+    rt.hops = pre.hops;
+  }
+  const sim::SimTime head_out =
+      topology_->route(head, frame.src, dst, burst, lane, traced ? &rt : nullptr);
 
   // Downlink occupancy + propagation to the destination NIC. The last bit
   // arrives when the burst finishes serializing down the link.
   const sim::SimTime down_done = downlinks_[dst].occupy(head_out, burst);
   const sim::SimTime arrival = down_done + params_.propagation;
+  if (traced) {
+    // Downlink waits count as contention; serialization + flight as wire.
+    // The breakdown travels inside the frame and becomes causal records on
+    // the destination node at delivery, where event order is deterministic.
+    rt.contend += (down_done - burst) - head_out;
+    rt.wire += burst + params_.propagation;
+    ++rt.hops;
+    FabBreakdown b;
+    b.wire_ns = static_cast<std::uint32_t>(rt.wire / sim::kNanosecond);
+    b.contend_ns = static_cast<std::uint32_t>(rt.contend / sim::kNanosecond);
+    b.credit_ns = static_cast<std::uint32_t>(rt.credit / sim::kNanosecond);
+    b.hops = rt.hops;
+    frame.fab = b.pack();
+  }
 
   Lane& tally = lanes_[lane];
   ++tally.frames;
@@ -149,6 +178,17 @@ DeliveryTiming Fabric::send(sim::SimTime ready, Frame frame) {
   const sim::SimTime up_start = up_done - serialization;
   t.first_bit_out = up_start;
   const sim::SimTime head = up_start + params_.propagation;
+
+  if (frame.trace != 0) {
+    // Traced frame: stash the uplink leg (wait is contention, flight to the
+    // switch is wire) in the packed breakdown; route_and_schedule resumes
+    // from it when the deferred traversal replays.
+    FabBreakdown b;
+    b.wire_ns = static_cast<std::uint32_t>(params_.propagation / sim::kNanosecond);
+    b.contend_ns = static_cast<std::uint32_t>((up_start - ready) / sim::kNanosecond);
+    b.hops = 1;
+    frame.fab = b.pack();
+  }
 
   if (sharded_) {
     // The switch and downlink are cross-node resources: defer the traversal

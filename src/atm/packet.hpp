@@ -25,10 +25,41 @@ namespace cni::atm {
 
 using NodeId = std::uint32_t;
 
+/// Per-frame fabric-attribution breakdown, packed into Frame::fab by the
+/// fabric at route time and unpacked at delivery on the destination node —
+/// deferring the ring writes to delivery keeps trace order independent of
+/// the (K- and fusion-dependent) drain interleaving. Nanosecond fields
+/// saturate; `hops` counts switch stages / links traversed.
+struct FabBreakdown {
+  std::uint32_t wire_ns = 0;      ///< serialization + propagation (20 bits)
+  std::uint32_t contend_ns = 0;   ///< switch-port / downlink contention (18 bits)
+  std::uint32_t credit_ns = 0;    ///< credit-stall wait (18 bits)
+  std::uint32_t hops = 0;         ///< stages + links traversed (8 bits)
+
+  [[nodiscard]] std::uint64_t pack() const {
+    const auto sat = [](std::uint64_t v, unsigned bits) {
+      const std::uint64_t cap = (1ull << bits) - 1;
+      return v < cap ? v : cap;
+    };
+    return sat(wire_ns, 20) | (sat(contend_ns, 18) << 20) |
+           (sat(credit_ns, 18) << 38) | (sat(hops, 8) << 56);
+  }
+  [[nodiscard]] static FabBreakdown unpack(std::uint64_t p) {
+    FabBreakdown b;
+    b.wire_ns = static_cast<std::uint32_t>(p & 0xfffffu);
+    b.contend_ns = static_cast<std::uint32_t>((p >> 20) & 0x3ffffu);
+    b.credit_ns = static_cast<std::uint32_t>((p >> 38) & 0x3ffffu);
+    b.hops = static_cast<std::uint32_t>((p >> 56) & 0xffu);
+    return b;
+  }
+};
+
 struct Frame {
   NodeId src = 0;
   NodeId dst = 0;
   std::uint32_t vci = 0;  ///< virtual circuit id (coarse demux, per OSIRIS)
+  std::uint64_t trace = 0;  ///< causal parent token (obs/causal.hpp); 0 = untraced
+  std::uint64_t fab = 0;    ///< packed FabBreakdown, filled by the fabric route
   util::Buf payload;
 
   [[nodiscard]] std::uint64_t size() const { return payload.size(); }
@@ -89,21 +120,35 @@ struct Frame {
   /// dropped without assemble() leaks that reference, so callbacks carrying
   /// one must release it in their destructor (see sim/inline_fn.hpp's
   /// trivially-relocatable callables).
+  ///
+  /// 32 bytes: the routing ids share one word (src:16 | dst:16 | vci:32 —
+  /// the node ceiling is 4096) so the causal token and the packed fabric
+  /// breakdown fit while a [this, handler] capture plus a Parts still lands
+  /// exactly on sim::InlineFn's 48-byte inline budget.
   struct Parts {
-    NodeId src;
-    NodeId dst;
-    std::uint32_t vci;
+    std::uint64_t ids;
     util::BufCtrl* buf;
+    std::uint64_t trace;
+    std::uint64_t fab;
   };
+  static_assert(sizeof(Parts) == 32);
 
   /// Flattens into a Parts, transferring the payload reference out.
   [[nodiscard]] Parts to_parts() && {
-    return Parts{src, dst, vci, payload.release()};
+    const std::uint64_t ids = (static_cast<std::uint64_t>(src & 0xffffu)) |
+                              (static_cast<std::uint64_t>(dst & 0xffffu) << 16) |
+                              (static_cast<std::uint64_t>(vci) << 32);
+    return Parts{ids, payload.release(), trace, fab};
   }
 
   /// Rebuilds a frame from a Parts, taking over its payload reference.
   [[nodiscard]] static Frame assemble(const Parts& p) {
-    return adopt(p.src, p.dst, p.vci, util::Buf::adopt(p.buf));
+    Frame f = adopt(static_cast<NodeId>(p.ids & 0xffffu),
+                    static_cast<NodeId>((p.ids >> 16) & 0xffffu),
+                    static_cast<std::uint32_t>(p.ids >> 32), util::Buf::adopt(p.buf));
+    f.trace = p.trace;
+    f.fab = p.fab;
+    return f;
   }
 };
 

@@ -58,15 +58,22 @@ void CreditLink::configure(std::uint32_t credits, sim::SimDuration latency) {
 }
 
 sim::SimTime CreditLink::traverse(sim::SimTime head, sim::SimDuration burst,
-                                  sim::SimDuration& queued) {
+                                  sim::SimDuration& queued, RouteTrace* rt) {
   CNI_DCHECK(!ring_.empty());
   // The burst may start once the wire is idle *and* the buffer slot taken
   // `credits` bursts ago has drained at the far end (its tail arrived).
   const std::size_t slot = sent_ % ring_.size();
   sim::SimTime start = head;
   if (busy_until_ > start) start = busy_until_;
+  const sim::SimTime wire_free = start;  // wait so far is the busy wire
   if (ring_[slot] > start) start = ring_[slot];
   queued += start - head;
+  if (rt != nullptr) {
+    rt->contend += wire_free - head;
+    rt->credit += start - wire_free;
+    rt->wire += latency_;
+    ++rt->hops;
+  }
   busy_until_ = start + burst;
   ring_[slot] = start + burst + latency_;
   ++sent_;
@@ -106,8 +113,17 @@ SingleStageTopology::SingleStageTopology(std::uint32_t ports,
     : Topology(ports), switch_(ports, switch_latency) {}
 
 sim::SimTime SingleStageTopology::route(sim::SimTime head, NodeId src, NodeId dst,
-                                        sim::SimDuration burst, std::uint32_t lane) {
-  return switch_.route(head, src, dst, burst, lane);
+                                        sim::SimDuration burst, std::uint32_t lane,
+                                        RouteTrace* rt) {
+  const sim::SimTime out = switch_.route(head, src, dst, burst, lane);
+  if (rt != nullptr) {
+    // One traversal of the shared pipeline: everything beyond the switch's
+    // own latency is contention with earlier bursts.
+    rt->wire += switch_.latency();
+    rt->contend += (out - head) - switch_.latency();
+    ++rt->hops;
+  }
+  return out;
 }
 
 sim::SimDuration SingleStageTopology::min_latency(NodeId src, NodeId dst) const {
@@ -198,35 +214,45 @@ std::uint32_t ClosTopology::route_switch(std::uint32_t tier, NodeId a, NodeId b)
 }
 
 sim::SimTime ClosTopology::route(sim::SimTime head, NodeId src, NodeId dst,
-                                 sim::SimDuration burst, std::uint32_t lane) {
+                                 sim::SimDuration burst, std::uint32_t lane,
+                                 RouteTrace* rt) {
   CNI_CHECK(src < ports_ && dst < ports_);
   CNI_DCHECK(lane < tallies_.size());
   Tally& tally = tallies_[lane];
   ++tally.bursts;
   sim::SimDuration queued = 0;
   const std::uint32_t h = ancestor_tier(src, dst);
+  // A block traversal beyond the switch pipeline latency is contention.
+  const auto block_route = [&](BanyanSwitch& b, std::uint32_t in, std::uint32_t out) {
+    const sim::SimTime t0 = head;
+    head = b.route(head, in, out, burst, lane);
+    if (rt != nullptr) {
+      rt->wire += switch_latency_;
+      rt->contend += (head - t0) - switch_latency_;
+      ++rt->hops;
+    }
+  };
   // Ascend: enter tier t on down-port digit_t(src), leave on the up-port
   // matching dst's digit — deterministic, and it lands the descent on the
   // switch whose low offset is exactly dst's low digits.
   for (std::uint32_t t = 0; t < h; ++t) {
     const std::uint32_t s = route_switch(t, src, dst);
     const std::uint32_t u = digit(dst, t);
-    head = blocks_[t][s].route(head, digit(src, t), down_ + u, burst, lane);
-    head = up_links_[t][static_cast<std::size_t>(s) * down_ + u].traverse(head, burst, queued);
+    block_route(blocks_[t][s], digit(src, t), down_ + u);
+    head = up_links_[t][static_cast<std::size_t>(s) * down_ + u].traverse(head, burst,
+                                                                          queued, rt);
   }
   // Turn around in the nearest common ancestor (the whole route when src and
   // dst share a leaf): down-port to down-port.
-  head = blocks_[h][route_switch(h, src, dst)].route(head, digit(src, h), digit(dst, h),
-                                                     burst, lane);
+  block_route(blocks_[h][route_switch(h, src, dst)], digit(src, h), digit(dst, h));
   // Descend along dst's digits: arrive on the up-port and leave on the
   // down-port that both carry digit_t(dst).
   for (std::uint32_t t = h; t >= 1; --t) {
     const std::uint32_t parent = route_switch(t, dst, dst);
     head = down_links_[t - 1][static_cast<std::size_t>(parent) * down_ + digit(dst, t)]
-               .traverse(head, burst, queued);
+               .traverse(head, burst, queued, rt);
     const std::uint32_t child = route_switch(t - 1, dst, dst);
-    head = blocks_[t - 1][child].route(head, down_ + digit(dst, t - 1), digit(dst, t - 1),
-                                       burst, lane);
+    block_route(blocks_[t - 1][child], down_ + digit(dst, t - 1), digit(dst, t - 1));
   }
   tally.queued += queued;
   return head;
@@ -342,7 +368,8 @@ std::uint32_t TorusTopology::hops(NodeId a, NodeId b) const {
 }
 
 sim::SimTime TorusTopology::route(sim::SimTime head, NodeId src, NodeId dst,
-                                  sim::SimDuration burst, std::uint32_t lane) {
+                                  sim::SimDuration burst, std::uint32_t lane,
+                                  RouteTrace* rt) {
   CNI_CHECK(src < ports_ && dst < ports_);
   CNI_DCHECK(lane < tallies_.size());
   Tally& tally = tallies_[lane];
@@ -359,7 +386,7 @@ sim::SimTime TorusTopology::route(sim::SimTime head, NodeId src, NodeId dst,
       const bool neg = delta < 0;
       const NodeId here = (cur.z << (x_bits_ + y_bits_)) | (cur.y << x_bits_) | cur.x;
       head = links_[static_cast<std::size_t>(here) * 6 + dim * 2 + (neg ? 1 : 0)]
-                 .traverse(head, burst, queued);
+                 .traverse(head, burst, queued, rt);
       const std::uint32_t size = sizes[dim];
       *axis[dim] = neg ? (*axis[dim] + size - 1) % size : (*axis[dim] + 1) % size;
       delta += neg ? 1 : -1;

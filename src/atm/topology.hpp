@@ -68,6 +68,19 @@ struct FabricParams {
   sim::SimDuration torus_hop_latency = 200 * sim::kNanosecond;
 };
 
+/// Optional per-route attribution, filled only for traced frames: where a
+/// burst's head time went between fabric entry and the destination output.
+/// Collecting it never touches link/switch state, so a traced run times
+/// identically to an untraced one; the fabric packs the totals into
+/// Frame::fab (atm::FabBreakdown) and the destination node emits them as
+/// causal records at delivery, where event order is deterministic.
+struct RouteTrace {
+  sim::SimDuration wire = 0;     ///< pure latency: switch pipelines, link flight
+  sim::SimDuration contend = 0;  ///< waits on busy ports / wires
+  sim::SimDuration credit = 0;   ///< waits for a credit (backpressure)
+  std::uint32_t hops = 0;        ///< switch stages + links traversed
+};
+
 /// A bounded inter-switch link: serialization (one burst at a time, in
 /// arrival order) plus credit-based backpressure — the sender holds one of
 /// `credits` buffer slots per burst in flight, and a new burst may not start
@@ -80,9 +93,10 @@ class CreditLink {
 
   /// Sends a burst whose head reaches the link at `head`. Returns when the
   /// head emerges at the far end; the wait for the wire and for a credit is
-  /// added to `queued`.
+  /// added to `queued`. When `rt` is non-null the wire/contention/credit
+  /// split of this traversal is accumulated into it.
   sim::SimTime traverse(sim::SimTime head, sim::SimDuration burst,
-                        sim::SimDuration& queued);
+                        sim::SimDuration& queued, RouteTrace* rt = nullptr);
 
   [[nodiscard]] std::uint64_t bursts() const { return sent_; }
 
@@ -109,9 +123,11 @@ class Topology {
   /// Routes a burst entering at `src` at time `head` toward `dst`, occupying
   /// each traversed resource for `burst`. Returns when the head emerges at
   /// the destination output (before the downlink). `lane` selects the
-  /// statistics tally, as in BanyanSwitch::route.
+  /// statistics tally, as in BanyanSwitch::route. A non-null `rt` collects
+  /// the per-category attribution of this route without perturbing state.
   virtual sim::SimTime route(sim::SimTime head, NodeId src, NodeId dst,
-                             sim::SimDuration burst, std::uint32_t lane) = 0;
+                             sim::SimDuration burst, std::uint32_t lane,
+                             RouteTrace* rt = nullptr) = 0;
 
   /// Zero-load head latency src -> dst (no contention, no downlink). The
   /// soundness floor for every lookahead derived from this pair.
@@ -158,7 +174,7 @@ class SingleStageTopology final : public Topology {
 
   [[nodiscard]] TopologyKind kind() const override { return TopologyKind::kBanyan; }
   sim::SimTime route(sim::SimTime head, NodeId src, NodeId dst, sim::SimDuration burst,
-                     std::uint32_t lane) override;
+                     std::uint32_t lane, RouteTrace* rt = nullptr) override;
   [[nodiscard]] sim::SimDuration min_latency(NodeId src, NodeId dst) const override;
   [[nodiscard]] sim::SimDuration min_cross_latency() const override;
   void fill_block_latency(const sim::ShardPlan& plan,
@@ -190,7 +206,7 @@ class ClosTopology final : public Topology {
 
   [[nodiscard]] TopologyKind kind() const override { return TopologyKind::kClos; }
   sim::SimTime route(sim::SimTime head, NodeId src, NodeId dst, sim::SimDuration burst,
-                     std::uint32_t lane) override;
+                     std::uint32_t lane, RouteTrace* rt = nullptr) override;
   [[nodiscard]] sim::SimDuration min_latency(NodeId src, NodeId dst) const override;
   [[nodiscard]] sim::SimDuration min_cross_latency() const override;
   void fill_block_latency(const sim::ShardPlan& plan,
@@ -252,7 +268,7 @@ class TorusTopology final : public Topology {
 
   [[nodiscard]] TopologyKind kind() const override { return TopologyKind::kTorus; }
   sim::SimTime route(sim::SimTime head, NodeId src, NodeId dst, sim::SimDuration burst,
-                     std::uint32_t lane) override;
+                     std::uint32_t lane, RouteTrace* rt = nullptr) override;
   [[nodiscard]] sim::SimDuration min_latency(NodeId src, NodeId dst) const override;
   [[nodiscard]] sim::SimDuration min_cross_latency() const override;
   [[nodiscard]] bool concurrent_local_routing(const sim::ShardPlan& plan) const override;

@@ -138,9 +138,11 @@ sim::SimTime Cluster::run(util::FunctionRef<void(std::size_t, sim::SimThread&)> 
     auto local_min = [this](std::uint32_t s) { return fabric_.local_pending_min(s); };
     const sim::FusedHooks hooks{local_drain, local_min,
                                 params_.sim_fusion ? &fusion_ledger_ : nullptr};
+    if (shard_prof_ != nullptr) shard_prof_->enable(plan_.shards);
     sim::run_epochs(engines, ep, mp, hooks,
                     [this](sim::SimTime limit) { return fabric_.drain(limit); },
-                    &epoch_stats_);
+                    &epoch_stats_, shard_prof_);
+    if (shard_prof_ != nullptr) shard_prof_->finish();
   } else {
     engine_.run();
   }

@@ -17,6 +17,7 @@
 #include "obs/obs.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard_profiler.hpp"
 #include "sim/sharded.hpp"
 #include "sim/stats.hpp"
 #include "util/function_ref.hpp"
@@ -75,6 +76,12 @@ class Cluster {
   /// Epoch/event counts of the last sharded run (zeros in legacy mode).
   [[nodiscard]] const sim::EpochStats& epoch_stats() const { return epoch_stats_; }
 
+  /// Opt-in wall-time attribution for sharded runs: run() enables `prof`
+  /// with the shard count and closes it after the epoch loop returns.
+  /// Telemetry only — simulated results are byte-identical with or without
+  /// it. Ignored in legacy (non-sharded) mode. Pass null to detach.
+  void set_shard_profiler(sim::ShardProfiler* prof) { shard_prof_ = prof; }
+
   /// Materializes every bound counter, histogram, gauge and (when tracing)
   /// the trace rings into a Snapshot that outlives the cluster.
   [[nodiscard]] obs::Snapshot snapshot() const;
@@ -102,6 +109,7 @@ class Cluster {
   // run() passes it to the epoch runner, which re-arms it per fused epoch.
   sim::FusionLedger fusion_ledger_;
   sim::EpochStats epoch_stats_;
+  sim::ShardProfiler* shard_prof_ = nullptr;  ///< borrowed; see set_shard_profiler
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::SimTime elapsed_ = 0;
 };

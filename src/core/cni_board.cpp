@@ -115,6 +115,8 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
   const nic::MsgHeader hdr = frame.header<nic::MsgHeader>();
   CNI_LOG_DEBUG("board%u start_tx type=%x dst=%u seq=%u", node_, hdr.type, frame.dst,
                 hdr.seq);
+  CNI_TRACE_MINT(obs_, frame);
+  const bool traced = frame.trace != 0;
   const std::uint64_t bytes = frame.size();
   // Queueing delay behind earlier descriptors: the gap between the enqueue
   // instant and the transmit processor picking this frame up.
@@ -156,6 +158,7 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
     } else {
       CNI_TRACE_INSTANT(obs_, cursor, obs::Component::kMCache,
                         obs::Event::kMCacheLookupMiss, opts.source_va, span);
+      [[maybe_unused]] const sim::SimTime miss_start = cursor;
       // Pull the buffer across the bus (virtually addressed DMA via the
       // board TLB), then bind it if the header asked for caching.
       std::uint64_t tlb_cycles = 0;
@@ -182,6 +185,13 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
                             obs::Event::kMCacheEvict, evicted, span);
         }
       }
+      if (traced) {
+        // Attribute the miss's pull time as a sub-span of the transmit
+        // stage: the critical-path tool carves it out of the tx bucket.
+        CNI_TRACE_CAUSAL(obs_, miss_start, cursor, obs::Stage::kMCache,
+                         obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kMCache),
+                         obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kTx));
+      }
     }
   }
 
@@ -190,6 +200,13 @@ void CniBoard::start_tx(sim::SimTime t, atm::Frame frame, const SendOptions& opt
   st.bytes_sent += bytes;
   CNI_TRACE_SPAN(obs_, t, sar_done, obs::Component::kNic, obs::Event::kTxFrame, bytes,
                  hdr.type);
+  if (traced) {
+    // The transmit stage spans enqueue pickup to sar completion; its parent
+    // is the cross-frame token a protocol layer stamped (0 for a chain root).
+    CNI_TRACE_CAUSAL(obs_, t, sar_done, obs::Stage::kTx,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kTx),
+                     (frame.trace & 0xffu) != 0 ? frame.trace : 0);
+  }
   const atm::DeliveryTiming timing = fabric_.send(sar_done, std::move(frame));
   st.cells_sent += timing.cells;
 }
@@ -224,6 +241,11 @@ void CniBoard::on_frame(atm::Frame frame) {
   // PATHFINDER classification: full pattern walk on the first fragment, the
   // dynamic pattern for the rest (one comparison per cell).
   const nic::MsgHeader hdr = frame.header<nic::MsgHeader>();
+  const bool traced = frame.trace != 0;
+  [[maybe_unused]] std::uint64_t rx_parent = 0;
+  if (traced) {
+    rx_parent = trace_fabric_arrival(arrival, hdr.src_node, hdr.seq, frame.fab);
+  }
   const FlowKey flow{hdr.src_node, frame.vci, hdr.seq};
   const std::uint64_t fragments = fabric_.cells().cells_for(bytes);
   const Pathfinder::Result cls = pathfinder_.classify(frame.bytes(), flow, fragments);
@@ -273,10 +295,17 @@ void CniBoard::on_frame(atm::Frame frame) {
                         bytes, 0);
       CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kNic, obs::Event::kAihDispatch,
                         hdr.type, 0);
+      if (traced) {
+        CNI_TRACE_CAUSAL(obs_, arrival, dispatch, obs::Stage::kRx,
+                         obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx),
+                         rx_parent);
+      }
+      // The dispatch event fires at `dispatch`, so the callback rebuilds it
+      // from engine_.now() — capturing it would push the closure past
+      // InlineFn's inline budget now that Parts carries the causal fields.
       engine_.schedule_at(dispatch, atm::FrameTask(
-                                        [this, h, dispatch](atm::Frame f) {
-                                          RxContext ctx(*this, dispatch, /*on_nic=*/false);
-                                          (*h)(ctx, f);
+                                        [this, h](atm::Frame f) {
+                                          run_handler(*h, std::move(f), /*on_nic=*/false);
                                         },
                                         std::move(frame)));
       return;
@@ -286,10 +315,14 @@ void CniBoard::on_frame(atm::Frame frame) {
         rx_proc_.occupy(cursor, nic_clock_.cycles(params_.aih_dispatch_cycles));
     CNI_TRACE_INSTANT(obs_, dispatch, obs::Component::kNic, obs::Event::kAihDispatch,
                       hdr.type, 1);
+    if (traced) {
+      CNI_TRACE_CAUSAL(obs_, arrival, dispatch, obs::Stage::kRx,
+                       obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx),
+                       rx_parent);
+    }
     engine_.schedule_at(dispatch, atm::FrameTask(
-                                      [this, h, dispatch](atm::Frame f) {
-                                        RxContext ctx(*this, dispatch, /*on_nic=*/true);
-                                        (*h)(ctx, f);
+                                      [this, h](atm::Frame f) {
+                                        run_handler(*h, std::move(f), /*on_nic=*/true);
                                       },
                                       std::move(frame)));
     return;
@@ -327,6 +360,15 @@ void CniBoard::on_frame(atm::Frame frame) {
   } else {
     CNI_TRACE_INSTANT(obs_, done, obs::Component::kGovernor,
                       obs::Event::kGovernorPoll, governor_.average_gap(), 0);
+  }
+  if (traced) {
+    CNI_TRACE_CAUSAL(obs_, arrival, cursor, obs::Stage::kRx,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx),
+                     rx_parent);
+    // Delivery covers DMA to the posted buffer plus the notification cost.
+    CNI_TRACE_CAUSAL(obs_, cursor, done, obs::Stage::kDeliver,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kDeliver),
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx));
   }
   deliver_to_channel(done, std::move(frame));
 }

@@ -140,11 +140,20 @@ atm::Frame DsmRuntime::make_frame(std::uint32_t dst, nic::MsgType type,
 }
 
 void DsmRuntime::send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
-                              util::Buf payload) {
+                              util::Buf payload, std::uint64_t trace) {
   CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
   node_.cpu().charge_overhead(*thread_, sys_.params().request_build_cycles);
-  node_.board().send_from_host(*thread_, make_frame(dst, type, 0, aux, 0, std::move(payload)),
-                               nic::NicBoard::SendOptions{});
+  atm::Frame frame = make_frame(dst, type, 0, aux, 0, std::move(payload));
+  frame.trace = trace;
+  node_.board().send_from_host(*thread_, std::move(frame), nic::NicBoard::SendOptions{});
+}
+
+bool DsmRuntime::tracing() const {
+#if CNI_OBS_ENABLED
+  return obs_ != nullptr && obs_->tracing();
+#else
+  return false;
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -234,6 +243,13 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
   fetch_.page = p;
   fetch_.base_from = nprocs_;  // sentinel: no base
 
+  // Root of this remote fault's causal tree: every request frame the fetch
+  // sends carries it as cross-frame parent, so the round trip (request ->
+  // server handler -> reply -> page arrival) reconstructs as one tree.
+  [[maybe_unused]] const sim::SimTime fetch_start = node_.engine().now();
+  const std::uint64_t fault_tok =
+      tracing() ? obs::causal_token(self_, fetch_.req_id, obs::Stage::kFault) : 0;
+
   // Phase 1 — a never-valid page needs a coherent base copy. Its source is
   // a *maximal* pending writer (any would be correct: the reply carries the
   // copy's per-writer content clock, and phase 2 fills whatever it lacks),
@@ -262,7 +278,7 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
     ByteWriter w(kMsgHeadroom);
     w.u64(p);
     w.u32(self_);
-    send_request(from, kDsmPageReq, fetch_.req_id, w.take());
+    send_request(from, kDsmPageReq, fetch_.req_id, w.take(), fault_tok);
     wq_.wait(*thread_, [this] { return fetch_.complete; });
     node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
     fetch_.complete = false;
@@ -293,7 +309,7 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
     // fetch of those would replay older bytes over it.
     wr.u32(n.index);
     wr.clock(fetch_.floor);
-    send_request(w, kDsmDiffReq, fetch_.req_id, wr.take());
+    send_request(w, kDsmDiffReq, fetch_.req_id, wr.take(), fault_tok);
   }
   if (fetch_.diffs_wanted != 0) {
     wq_.wait(*thread_, [this] { return fetch_.complete; });
@@ -301,6 +317,10 @@ void DsmRuntime::fetch_page_data(PageEntry& e, PageId p) {
   }
 
   apply_fetch_results(e);
+  if (fault_tok != 0) {
+    CNI_TRACE_CAUSAL(obs_, fetch_start, node_.engine().now(), obs::Stage::kFault,
+                     fault_tok, 0);
+  }
   CNI_LOG_DEBUG("n%u fetch complete", self_);
 }
 
@@ -616,10 +636,24 @@ void DsmRuntime::barrier() {
   for (const Interval* iv : unseen) iv->serialize(w);
   node_.cpu().charge_overhead(
       *thread_, unseen.size() * sys_.params().handler_per_interval_cycles);
-  send_request(sys_.barrier_manager(), kDsmBarArrive, 0, w.take());
+  // Root of this barrier episode's causal tree (seq: the node's barrier
+  // count); the arrive frame carries it, so manager fan-in/fan-out chains
+  // under it, and the span itself measures this node's barrier wait.
+  [[maybe_unused]] const sim::SimTime bar_start = node_.engine().now();
+  const std::uint64_t bar_tok =
+      tracing() ? obs::causal_token(
+                      self_,
+                      static_cast<std::uint32_t>(node_.cpu().stats().barriers),
+                      obs::Stage::kBarrier)
+                : 0;
+  send_request(sys_.barrier_manager(), kDsmBarArrive, 0, w.take(), bar_tok);
 
   wq_.wait(*thread_, [this] { return barrier_released_; });
   node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+  if (bar_tok != 0) {
+    CNI_TRACE_CAUSAL(obs_, bar_start, node_.engine().now(), obs::Stage::kBarrier,
+                     bar_tok, 0);
+  }
 }
 
 void DsmRuntime::on_bar_arrive(Ctx& ctx, const atm::Frame& f) {
@@ -725,6 +759,12 @@ void DsmRuntime::on_page_reply(Ctx& ctx, const atm::Frame& f) {
   ctx.transfer_to_host(va_of_page(page), data.size());
   CNI_TRACE_INSTANT(obs_, ctx.cursor(), obs::Component::kDsm,
                     obs::Event::kDsmPageArrival, page, data.size());
+  if (f.trace != 0) {
+    // Leaf of the remote-fault tree: the page's bytes are in host memory.
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kDeliver,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kDeliver),
+                     ctx.trace());
+  }
   node_.engine().schedule_at(
       ctx.cursor(),
       [this, data, keep = r.backing(), content = std::move(content)]() mutable {
@@ -798,6 +838,11 @@ void DsmRuntime::on_diff_reply(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              words * sys_.params().diff_word_cycles);
   ctx.transfer_to_host(va_of_page(page), std::max<std::uint64_t>(words * 8, 8));
+  if (f.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kDeliver,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kDeliver),
+                     ctx.trace());
+  }
   node_.engine().schedule_at(ctx.cursor(), [this, ds = std::move(ds)]() mutable {
     for (Diff& d : ds) fetch_.diffs.push_back(std::move(d));
     ++fetch_.diffs_got;

@@ -134,9 +134,15 @@ class DsmRuntime {
                         std::uint32_t aux, mem::VAddr buffer_va, util::Buf payload);
 
   /// Sends a protocol request from the application thread (charges the
-  /// request-build cost plus the board's host-side send cost).
+  /// request-build cost plus the board's host-side send cost). A nonzero
+  /// `trace` token rides as the outgoing frame's causal parent, rooting the
+  /// request's span tree under the fault or barrier that triggered it.
   void send_request(std::uint32_t dst, nic::MsgType type, std::uint32_t aux,
-                    util::Buf payload);
+                    util::Buf payload, std::uint64_t trace = 0);
+
+  /// True when the node's observability context exists and tracing is on —
+  /// the gate for minting causal root tokens on this runtime's requests.
+  [[nodiscard]] bool tracing() const;
 
   [[nodiscard]] mem::VAddr va_of_page(PageId p) const;
   [[nodiscard]] std::uint64_t page_words() const;

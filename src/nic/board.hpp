@@ -118,7 +118,10 @@ class NicBoard {
     }
 
     /// Sends a reply frame from protocol context, departing at the cursor.
+    /// When this context is traced (the triggering frame was), the reply
+    /// inherits this handler's causal token as its cross-frame parent.
     void send(atm::Frame frame, const SendOptions& opts) {
+      if (frame.trace == 0) frame.trace = trace_;
       board_.send_from_protocol(cursor_, std::move(frame), opts);
     }
 
@@ -127,11 +130,17 @@ class NicBoard {
     [[nodiscard]] bool on_nic() const { return on_nic_; }
     [[nodiscard]] NicBoard& board() { return board_; }
 
+    /// Causal token of the handler span this context executes under (0 when
+    /// the triggering frame was untraced). Set by the board at dispatch.
+    [[nodiscard]] std::uint64_t trace() const { return trace_; }
+    void set_trace(std::uint64_t token) { trace_ = token; }
+
    private:
     friend class NicBoard;
     NicBoard& board_;
     sim::SimTime cursor_;
     bool on_nic_;
+    std::uint64_t trace_ = 0;
   };
 
   /// A protocol handler (the DSM runtime installs these). On the CNI this is

@@ -1,5 +1,6 @@
 #include "nic/osiris.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace cni::nic {
@@ -43,6 +44,58 @@ NicBoard::Handler* OsirisBoard::find_handler(MsgType type) {
 sim::SimChannel<atm::Frame>* OsirisBoard::find_channel(MsgType type) {
   sim::SimChannel<atm::Frame>** slot = channels_.find(type);
   return slot == nullptr ? nullptr : *slot;
+}
+
+std::uint64_t OsirisBoard::trace_fabric_arrival(sim::SimTime arrival, std::uint32_t origin,
+                                                std::uint32_t seq, std::uint64_t fab) {
+#if CNI_OBS_ENABLED
+  if (obs_ == nullptr || !obs_->tracing()) return 0;
+  const atm::FabBreakdown b = atm::FabBreakdown::unpack(fab);
+  const sim::SimDuration wire = b.wire_ns * sim::kNanosecond;
+  const sim::SimDuration contend = b.contend_ns * sim::kNanosecond;
+  const sim::SimDuration credit = b.credit_ns * sim::kNanosecond;
+  // Lay the categories out back to back ending at the arrival instant, in a
+  // fixed order (wire, contention, credit), so the records are a pure
+  // function of the packed breakdown — independent of drain interleaving.
+  sim::SimTime t = arrival - (wire + contend + credit);
+  std::uint64_t prev = obs::causal_token(origin, seq, obs::Stage::kTx);
+  const std::uint64_t wire_tok = obs::causal_token(origin, seq, obs::Stage::kFabWire);
+  obs_->causal(t, t + wire, obs::Stage::kFabWire, wire_tok, prev);
+  t += wire;
+  prev = wire_tok;
+  if (contend != 0) {
+    const std::uint64_t tok = obs::causal_token(origin, seq, obs::Stage::kFabHop);
+    obs_->causal(t, t + contend, obs::Stage::kFabHop, tok, prev);
+    t += contend;
+    prev = tok;
+  }
+  if (credit != 0) {
+    const std::uint64_t tok = obs::causal_token(origin, seq, obs::Stage::kFabCredit);
+    obs_->causal(t, t + credit, obs::Stage::kFabCredit, tok, prev);
+    prev = tok;
+  }
+  return prev;
+#else
+  (void)arrival;
+  (void)origin;
+  (void)seq;
+  (void)fab;
+  return 0;
+#endif
+}
+
+void OsirisBoard::run_handler(const Handler& h, atm::Frame frame, bool on_nic) {
+  const sim::SimTime dispatch = engine_.now();
+  RxContext ctx(*this, dispatch, on_nic);
+  if (frame.trace != 0) {
+    const MsgHeader hdr = frame.header<MsgHeader>();
+    ctx.set_trace(obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kHandler));
+    h(ctx, frame);
+    CNI_TRACE_CAUSAL(obs_, dispatch, ctx.cursor(), obs::Stage::kHandler, ctx.trace(),
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx));
+    return;
+  }
+  h(ctx, frame);
 }
 
 void OsirisBoard::deliver_to_channel(sim::SimTime t, atm::Frame frame) {

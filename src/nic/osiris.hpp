@@ -43,6 +43,19 @@ class OsirisBoard : public NicBoard {
   /// Schedules delivery of an app frame into its bound channel at time `t`.
   void deliver_to_channel(sim::SimTime t, atm::Frame frame);
 
+  /// Emits the causal records for a traced frame's fabric traversal (the
+  /// packed breakdown the fabric left in Frame::fab) at the deterministic
+  /// delivery instant, and returns the token of the last fabric stage — the
+  /// parent for the board's receive span. Returns 0 when not tracing.
+  std::uint64_t trace_fabric_arrival(sim::SimTime arrival, std::uint32_t origin,
+                                     std::uint32_t seq, std::uint64_t fab);
+
+  /// Runs a protocol handler at the current engine instant (the dispatch
+  /// event's fire time): builds the RxContext, hands a traced frame's
+  /// handler token to it (replies inherit it as their causal parent), and
+  /// emits the handler's causal span once it returns.
+  void run_handler(const Handler& h, atm::Frame frame, bool on_nic);
+
   sim::Engine& engine_;
   atm::Fabric& fabric_;
   HostSystem& host_;

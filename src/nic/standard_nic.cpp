@@ -41,6 +41,8 @@ void StandardNic::send_from_protocol(sim::SimTime ready, atm::Frame frame,
 
 void StandardNic::start_tx(sim::SimTime t, atm::Frame frame) {
   const std::uint64_t bytes = frame.size();
+  CNI_TRACE_MINT(obs_, frame);
+  [[maybe_unused]] const bool traced = frame.trace != 0;
   // Descriptor fetch on the transmit processor.
   const sim::SimTime desc_done =
       tx_proc_.occupy(t, nic_clock_.cycles(params_.per_frame_tx_cycles));
@@ -58,6 +60,12 @@ void StandardNic::start_tx(sim::SimTime t, atm::Frame frame) {
                     bytes, 0);
   CNI_TRACE_SPAN(obs_, t, sar_done, obs::Component::kNic, obs::Event::kTxFrame, bytes,
                  frame.header<MsgHeader>().type);
+  if (traced) {
+    const MsgHeader hdr = frame.header<MsgHeader>();
+    CNI_TRACE_CAUSAL(obs_, t, sar_done, obs::Stage::kTx,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kTx),
+                     (frame.trace & 0xffu) != 0 ? frame.trace : 0);
+  }
 
   const atm::DeliveryTiming timing = fabric_.send(sar_done, std::move(frame));
   st.cells_sent += timing.cells;
@@ -89,14 +97,30 @@ void StandardNic::on_frame(atm::Frame frame) {
                     frame.size(), intr_cycles);
 
   const MsgHeader hdr = frame.header<MsgHeader>();
+  if (frame.trace != 0) {
+    [[maybe_unused]] const std::uint64_t rx_parent =
+        trace_fabric_arrival(arrival, hdr.src_node, hdr.seq, frame.fab);
+    // The receive stage runs to dispatch: reassembly, ring DMA, interrupt
+    // and kernel dispatch — all before any protocol code sees the frame.
+    CNI_TRACE_CAUSAL(obs_, arrival, dispatch, obs::Stage::kRx,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx),
+                     rx_parent);
+  }
   if (Handler* h = find_handler(hdr.type); h != nullptr) {
+    // Capturing `dispatch` would overflow InlineFn's inline budget now that
+    // Parts carries the causal fields; the event fires at `dispatch`, so the
+    // callback recovers it from engine_.now().
     engine_.schedule_at(dispatch, atm::FrameTask(
-                                      [this, h, dispatch](atm::Frame f) {
-                                        RxContext ctx(*this, dispatch, /*on_nic=*/false);
-                                        (*h)(ctx, f);
+                                      [this, h](atm::Frame f) {
+                                        run_handler(*h, std::move(f), /*on_nic=*/false);
                                       },
                                       std::move(frame)));
     return;
+  }
+  if (frame.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, dispatch, dispatch, obs::Stage::kDeliver,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kDeliver),
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kRx));
   }
   deliver_to_channel(dispatch, std::move(frame));
 }

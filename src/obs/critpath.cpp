@@ -1,0 +1,266 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/report.hpp"
+#include "util/flat_map.hpp"
+
+namespace cni::obs {
+namespace {
+
+struct SpanRec {
+  std::uint64_t token = 0;
+  std::uint64_t parent = 0;
+  Stage stage = Stage::kTx;
+  std::uint32_t node = 0;
+  sim::SimTime start = 0;
+  sim::SimDuration dur = 0;
+};
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out.append(buf, buf + (n < 0 ? 0 : (n >= static_cast<int>(sizeof(buf))
+                                          ? static_cast<int>(sizeof(buf)) - 1
+                                          : n)));
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kFault: return "fault";
+    case Stage::kTx: return "tx";
+    case Stage::kFabWire: return "fab_wire";
+    case Stage::kFabHop: return "fab_contention";
+    case Stage::kFabCredit: return "fab_credit";
+    case Stage::kRx: return "rx";
+    case Stage::kMCache: return "mcache";
+    case Stage::kHandler: return "handler";
+    case Stage::kDeliver: return "deliver";
+    case Stage::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
+CritPath extract_critical_path(const Snapshot& snap) {
+  CritPath cp;
+
+  // Collect every causal span, first occurrence of each token winning (the
+  // snapshot's node/record order is deterministic, so so is this).
+  std::vector<SpanRec> spans;
+  util::U64FlatMap<std::size_t> by_token;
+  for (const NodeSnapshot& node : snap.nodes) {
+    if (node.trace_dropped != 0) cp.truncated = true;
+    for (const TraceRecord& r : node.trace) {
+      if (r.kind != Kind::kCausal) continue;
+      if (by_token.contains(r.arg0)) continue;
+      SpanRec s;
+      s.token = r.arg0;
+      s.parent = r.arg1;
+      s.stage = causal_stage(r.arg0);
+      s.node = node.node;
+      s.start = r.time;
+      s.dur = r.dur;
+      by_token.insert(s.token, spans.size());
+      spans.push_back(s);
+    }
+  }
+  if (spans.empty()) return cp;
+  cp.found = true;
+
+  // Children adjacency and per-leaf chains. A parent token that resolves to
+  // no recorded span (ring drop, or a genuine chain root) ends the walk.
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<bool> is_leaf(spans.size(), true);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::size_t* p = by_token.find(spans[i].parent);
+    if (p == nullptr || *p == i) continue;
+    children[*p].push_back(i);
+    is_leaf[*p] = false;
+  }
+
+  const auto root_of = [&](std::size_t i) {
+    // Bounded by the span count, so a corrupt parent cycle cannot hang us.
+    for (std::size_t hops = 0; hops < spans.size(); ++hops) {
+      const std::size_t* p = by_token.find(spans[i].parent);
+      if (p == nullptr || *p == i) break;
+      i = *p;
+    }
+    return i;
+  };
+
+  // Per root, the window is [root start, latest leaf-or-root end]. Pick the
+  // widest window; ties break on earlier start, then smaller root token.
+  std::size_t best_leaf = spans.size();
+  std::size_t best_root = spans.size();
+  sim::SimDuration best_window = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (!is_leaf[i]) continue;
+    const std::size_t r = root_of(i);
+    const sim::SimTime end =
+        std::max(spans[i].start + spans[i].dur, spans[r].start + spans[r].dur);
+    if (end < spans[r].start) continue;
+    const sim::SimDuration window = end - spans[r].start;
+    const bool better =
+        best_root == spans.size() || window > best_window ||
+        (window == best_window &&
+         (spans[r].start < spans[best_root].start ||
+          (spans[r].start == spans[best_root].start &&
+           spans[r].token < spans[best_root].token)));
+    if (better) {
+      best_window = window;
+      best_root = r;
+      best_leaf = i;
+    } else if (r == best_root) {
+      // Same tree: keep the latest-ending leaf (tie: smaller token).
+      const SpanRec& cur = spans[best_leaf];
+      const sim::SimTime cur_end = cur.start + cur.dur;
+      const sim::SimTime cand_end = spans[i].start + spans[i].dur;
+      if (cand_end > cur_end ||
+          (cand_end == cur_end && spans[i].token < cur.token)) {
+        best_leaf = i;
+      }
+    }
+  }
+  if (best_root == spans.size()) return cp;
+
+  // The chain, root first.
+  std::vector<std::size_t> chain;
+  for (std::size_t i = best_leaf;; ) {
+    chain.push_back(i);
+    if (i == best_root) break;
+    const std::size_t* p = by_token.find(spans[i].parent);
+    if (p == nullptr || *p == i || chain.size() > spans.size()) break;
+    i = *p;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  const SpanRec& root = spans[chain.front()];
+  const SpanRec& leaf = spans[chain.back()];
+  cp.root_token = root.token;
+  cp.start = root.start;
+  cp.end = std::max(leaf.start + leaf.dur, root.start + root.dur);
+
+  // Attribution: step i owns [start_i, start_{i+1}); the leaf owns its span;
+  // a root outliving the leaf owns the tail. Nested non-chain children are
+  // carved out of their owner's bucket into their own stage.
+  cp.chain.reserve(chain.size());
+  for (std::size_t ci = 0; ci < chain.size(); ++ci) {
+    const SpanRec& s = spans[chain[ci]];
+    sim::SimTime own_end;
+    if (ci + 1 < chain.size()) {
+      own_end = std::max(spans[chain[ci + 1]].start, s.start);
+    } else {
+      own_end = s.start + s.dur;
+    }
+    sim::SimDuration attr = own_end - s.start;
+    if (ci == 0 && cp.end > std::max(own_end, leaf.start + leaf.dur)) {
+      attr += cp.end - (leaf.start + leaf.dur);  // the root's tail
+    }
+    const std::size_t on_chain = ci + 1 < chain.size() ? chain[ci + 1] : spans.size();
+    for (const std::size_t c : children[chain[ci]]) {
+      if (c == on_chain) continue;
+      const SpanRec& sub = spans[c];
+      const sim::SimTime lo = std::max(sub.start, s.start);
+      const sim::SimTime hi = std::min(sub.start + sub.dur, own_end);
+      if (hi <= lo) continue;
+      const sim::SimDuration carved = std::min<sim::SimDuration>(hi - lo, attr);
+      attr -= carved;
+      cp.stage_ps[static_cast<std::size_t>(sub.stage)] += carved;
+    }
+    cp.stage_ps[static_cast<std::size_t>(s.stage)] += attr;
+    CritStep step;
+    step.token = s.token;
+    step.stage = s.stage;
+    step.node = s.node;
+    step.start = s.start;
+    step.dur = s.dur;
+    step.attributed = attr;
+    cp.chain.push_back(step);
+  }
+  return cp;
+}
+
+namespace {
+
+void append_stages(std::string& out, const CritPath& cp) {
+  out += "{";
+  bool first = true;
+  for (std::size_t s = 1; s < kStageCount; ++s) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += stage_name(static_cast<Stage>(s));
+    out += "\":";
+    append_fmt(out, "%" PRIu64, cp.stage_ps[s]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string critpath_report_fragment(const CritPath& cp) {
+  std::string out;
+  if (!cp.found) {
+    out += "null";
+    return out;
+  }
+  append_fmt(out,
+             "{\"root\":\"%s@n%u#%u\",\"start_ps\":%" PRIu64 ",\"end_ps\":%" PRIu64
+             ",\"total_ps\":%" PRIu64 ",\"attributed_ps\":%" PRIu64
+             ",\"steps\":%zu,\"stages\":",
+             stage_name(causal_stage(cp.root_token)), causal_origin(cp.root_token),
+             causal_seq(cp.root_token), cp.start, cp.end, cp.total(),
+             cp.attributed_total(), cp.chain.size());
+  append_stages(out, cp);
+  out += '}';
+  return out;
+}
+
+std::string critpath_json(
+    const std::vector<std::pair<std::string, CritPath>>& points) {
+  std::string out;
+  out += "{\"schema\":\"cni-critpath\",\"version\":1,\"build\":\"";
+  out += json_escape(build_version());
+  out += "\",\"points\":[";
+  bool first = true;
+  for (const auto& [label, cp] : points) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":\"";
+    out += json_escape(label);
+    append_fmt(out, "\",\"found\":%s,\"trace_truncated\":%s",
+               cp.found ? "true" : "false", cp.truncated ? "true" : "false");
+    if (cp.found) {
+      out += ",\"critpath\":";
+      out += critpath_report_fragment(cp);
+      out += ",\"chain\":[";
+      bool cfirst = true;
+      for (const CritStep& st : cp.chain) {
+        if (!cfirst) out += ',';
+        cfirst = false;
+        append_fmt(out,
+                   "{\"stage\":\"%s\",\"node\":%u,\"origin\":%u,\"seq\":%u,"
+                   "\"start_ps\":%" PRIu64 ",\"dur_ps\":%" PRIu64
+                   ",\"attr_ps\":%" PRIu64 "}",
+                   stage_name(st.stage), st.node, causal_origin(st.token),
+                   causal_seq(st.token), st.start, st.dur, st.attributed);
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace cni::obs

@@ -1,0 +1,79 @@
+// Critical-path extraction over the causal trace (DESIGN.md §15).
+//
+// Causal records (Kind::kCausal) carry (self, parent) tokens in their arg
+// slots, linking every stage of a message's journey — and, across frames,
+// the fault or handler that caused the send — into parent-linked trees. This
+// module rebuilds those trees from a run Snapshot, picks the tree with the
+// longest end-to-end window, walks the chain from its latest leaf back to
+// the root, and attributes every picosecond of the window to exactly one
+// stage bucket:
+//
+//   * a chain span owns the time from its start to the next chain span's
+//     start (the leaf owns its full duration; a root that outlives the leaf
+//     owns the tail) — so the buckets sum to the window by construction;
+//   * a nested non-chain child (e.g. an mcache miss inside the tx stage) is
+//     carved out of its parent's bucket into its own stage.
+//
+// Everything here is a pure function of the trace records, so the output is
+// as deterministic as the trace itself. scripts/critpath.py is the stdlib
+// re-implementation for post-hoc analysis of exported files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+#include "obs/snapshot.hpp"
+#include "sim/time.hpp"
+
+namespace cni::obs {
+
+/// Stage count for bucket arrays (Stage ids are 1-based and dense).
+inline constexpr std::size_t kStageCount = 11;
+
+/// Stable lowercase stage name ("tx", "fab_wire", ...) used in every export.
+[[nodiscard]] const char* stage_name(Stage s);
+
+/// One chain element of the extracted critical path, root first.
+struct CritStep {
+  std::uint64_t token = 0;      ///< the span's causal token
+  Stage stage = Stage::kTx;
+  std::uint32_t node = 0;       ///< node whose ring recorded the span
+  sim::SimTime start = 0;
+  sim::SimDuration dur = 0;
+  sim::SimDuration attributed = 0;  ///< window time owned by this step's stage
+};
+
+/// The critical path of one run (one ReportPoint's snapshot).
+struct CritPath {
+  bool found = false;           ///< any causal tree present?
+  bool truncated = false;       ///< a ring dropped records: chains may be cut
+  std::uint64_t root_token = 0;
+  sim::SimTime start = 0;       ///< root span start
+  sim::SimTime end = 0;         ///< latest end over root and leaf
+  std::vector<CritStep> chain;  ///< root -> leaf
+  std::uint64_t stage_ps[kStageCount] = {};  ///< indexed by Stage id
+
+  [[nodiscard]] sim::SimDuration total() const { return end - start; }
+  /// Sum over the stage buckets (equals total() up to layout rounding).
+  [[nodiscard]] std::uint64_t attributed_total() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t v : stage_ps) t += v;
+    return t;
+  }
+};
+
+/// Rebuilds the causal trees of `snap` and extracts the critical path of the
+/// longest one. Returns found=false when the snapshot holds no causal spans.
+[[nodiscard]] CritPath extract_critical_path(const Snapshot& snap);
+
+/// Deterministic JSON export (schema "cni-critpath") for labeled points —
+/// what --critpath-out writes and scripts/critpath.py consumes.
+[[nodiscard]] std::string critpath_json(
+    const std::vector<std::pair<std::string, CritPath>>& points);
+
+/// The per-point "critpath" object embedded in the run report (no chain).
+[[nodiscard]] std::string critpath_report_fragment(const CritPath& cp);
+
+}  // namespace cni::obs

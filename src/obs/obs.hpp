@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/options.hpp"
 #include "obs/taxonomy.hpp"
@@ -50,6 +51,12 @@ class NodeObs {
   }
   void counter(sim::SimTime t, Component c, Event e, std::uint64_t value) {
     record(t, 0, c, e, Kind::kCounter, value, 0);
+  }
+  /// Causal-tree edge: a span whose arg slots carry (self, parent) tokens.
+  void causal(sim::SimTime t0, sim::SimTime t1, Stage stage, std::uint64_t self,
+              std::uint64_t parent) {
+    record(t0, t1 >= t0 ? t1 - t0 : 0, causal_component(stage), causal_event(stage),
+           Kind::kCausal, self, parent);
   }
 
  private:
@@ -144,6 +151,25 @@ class RunObs {
     }                                                                             \
   } while (0)
 
+#define CNI_TRACE_CAUSAL(ctx_, t0, t1, stage, self, parent)                       \
+  do {                                                                            \
+    ::cni::obs::NodeObs* cni_obs_o_ = (ctx_);                                     \
+    if (cni_obs_o_ != nullptr && cni_obs_o_->tracing()) {                         \
+      cni_obs_o_->causal((t0), (t1), (stage), (self), (parent));                  \
+    }                                                                             \
+  } while (0)
+
+/// Marks an outgoing frame's journey as traced (keeps any parent token a
+/// protocol layer already stamped). A nonzero Frame::trace is the flag the
+/// fabric and the receiving board key their causal collection on.
+#define CNI_TRACE_MINT(ctx_, frame_)                                              \
+  do {                                                                            \
+    ::cni::obs::NodeObs* cni_obs_o_ = (ctx_);                                     \
+    if (cni_obs_o_ != nullptr && cni_obs_o_->tracing() && (frame_).trace == 0) {  \
+      (frame_).trace = ::cni::obs::kCausalTracedBit;                              \
+    }                                                                             \
+  } while (0)
+
 /// Records into a pre-resolved histogram handle (null-safe).
 #define CNI_OBS_HIST(hist, value)                                                 \
   do {                                                                            \
@@ -163,6 +189,8 @@ class RunObs {
 #define CNI_TRACE_INSTANT(ctx_, t, comp, evt, a0, a1) do { } while (0)
 #define CNI_TRACE_SPAN(ctx_, t0, t1, comp, evt, a0, a1) do { } while (0)
 #define CNI_TRACE_COUNTER(ctx_, t, comp, evt, value) do { } while (0)
+#define CNI_TRACE_CAUSAL(ctx_, t0, t1, stage, self, parent) do { } while (0)
+#define CNI_TRACE_MINT(ctx_, frame_) do { } while (0)
 #define CNI_OBS_HIST(hist, value) do { } while (0)
 #define CNI_OBS_GAUGE_SET(gauge, value) do { } while (0)
 

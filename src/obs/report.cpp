@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/critpath.hpp"
 #include "util/log.hpp"
 
 namespace cni::obs {
@@ -120,10 +121,11 @@ std::string chrome_trace_json(const std::vector<ReportPoint>& points) {
           case Kind::kSpan: out += 'X'; break;
           case Kind::kCounter: out += 'C'; break;
           case Kind::kInstant: out += 'i'; break;
+          case Kind::kCausal: out += 'X'; break;  // complete span; tokens in args
         }
         out += "\",\"ts\":";
         append_ts_us(out, r.time);
-        if (r.kind == Kind::kSpan) {
+        if (r.kind == Kind::kSpan || r.kind == Kind::kCausal) {
           out += ",\"dur\":";
           append_ts_us(out, r.dur);
         }
@@ -205,6 +207,15 @@ void append_node_json(std::string& out, const NodeSnapshot& node) {
   out += "}}";
 }
 
+/// Did any node's trace ring drop records for this point? When true the
+/// causal trees (and therefore the critpath) may be missing interior spans.
+bool point_truncated(const ReportPoint& pt) {
+  for (const NodeSnapshot& node : pt.snapshot.nodes) {
+    if (node.trace_dropped != 0) return true;
+  }
+  return false;
+}
+
 void append_point_json(std::string& out, const ReportPoint& pt) {
   out += "{\"label\":\"";
   out += json_escape(pt.label);
@@ -231,8 +242,11 @@ void append_point_json(std::string& out, const ReportPoint& pt) {
     out += "\":";
     append_u64(out, v);
   }
-  append_fmt(out, "},\"traced\":%s,\"nodes\":[",
-             pt.snapshot.traced ? "true" : "false");
+  append_fmt(out, "},\"traced\":%s,\"trace_truncated\":%s,\"critpath\":",
+             pt.snapshot.traced ? "true" : "false",
+             point_truncated(pt) ? "true" : "false");
+  out += critpath_report_fragment(extract_critical_path(pt.snapshot));
+  out += ",\"nodes\":[";
   first = true;
   for (const NodeSnapshot& node : pt.snapshot.nodes) {
     if (!first) out += ',';
@@ -301,7 +315,11 @@ std::string run_report_json(
   out += json_escape(binary);
   // The simulator is deterministic by construction (no RNG in the model);
   // the seed field exists so the schema survives a future stochastic mode.
-  out += "\",\"seed\":0,\"config\":{";
+  out += "\",\"seed\":0,\"trace_truncated\":";
+  bool any_truncated = false;
+  for (const ReportPoint& pt : points) any_truncated = any_truncated || point_truncated(pt);
+  out += any_truncated ? "true" : "false";
+  out += ",\"config\":{";
   bool first = true;
   for (const auto& [k, v] : config) append_kv_str(out, k.c_str(), v, &first);
   out += "},\"points\":[";
@@ -337,6 +355,9 @@ Reporter::Reporter(int argc, char** argv, std::string binary)
       opts.trace = true;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       metrics_path_ = arg + 14;
+    } else if (std::strncmp(arg, "--critpath-out=", 15) == 0) {
+      critpath_path_ = arg + 15;
+      opts.trace = true;  // critpath extraction needs the causal records
     } else if (std::strncmp(arg, "--trace-capacity=", 17) == 0) {
       opts.trace_capacity =
           static_cast<std::uint32_t>(std::strtoul(arg + 17, nullptr, 10));
@@ -354,6 +375,14 @@ bool Reporter::finish() const {
   }
   if (!metrics_path_.empty()) {
     ok = write_text_file(metrics_path_, run_report_json(binary_, config_, points_)) && ok;
+  }
+  if (!critpath_path_.empty()) {
+    std::vector<std::pair<std::string, CritPath>> cps;
+    cps.reserve(points_.size());
+    for (const ReportPoint& pt : points_) {
+      cps.emplace_back(pt.label, extract_critical_path(pt.snapshot));
+    }
+    ok = write_text_file(critpath_path_, critpath_json(cps)) && ok;
   }
   return ok;
 }

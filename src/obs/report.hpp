@@ -24,7 +24,8 @@
 namespace cni::obs {
 
 /// Bumped whenever the report layout changes; validate_report.py pins it.
-inline constexpr std::uint32_t kReportVersion = 1;
+/// v2: per-point "trace_truncated" + "critpath", top-level "trace_truncated".
+inline constexpr std::uint32_t kReportVersion = 2;
 
 /// Results of one sweep point (one Cluster run).
 struct ReportPoint {
@@ -63,11 +64,13 @@ class Reporter {
  public:
   Reporter(int argc, char** argv, std::string binary);
 
-  /// Was --trace-out given (so clusters should record traces)?
-  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  /// Was --trace-out or --critpath-out given (so clusters should record)?
+  [[nodiscard]] bool tracing() const {
+    return !trace_path_.empty() || !critpath_path_.empty();
+  }
   /// Is any output file requested at all?
   [[nodiscard]] bool active() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !metrics_path_.empty() || !critpath_path_.empty();
   }
 
   void add_config(std::string key, std::string value) {
@@ -82,6 +85,7 @@ class Reporter {
   std::string binary_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string critpath_path_;  ///< --critpath-out: cni-critpath JSON target
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<ReportPoint> points_;
 };

@@ -12,6 +12,7 @@ const char* component_name(Component c) {
     case Component::kDsm: return "dsm";
     case Component::kNic: return "nic";
     case Component::kHost: return "host";
+    case Component::kFabric: return "fabric";
   }
   return "unknown";
 }
@@ -38,6 +39,16 @@ const char* event_name(Event e) {
     case Event::kKernelSend: return "host.kernel_send";
     case Event::kKernelRecv: return "host.kernel_recv";
     case Event::kHostInterrupt: return "host.interrupt";
+    case Event::kCausalFault: return "causal.fault";
+    case Event::kCausalTx: return "causal.tx";
+    case Event::kCausalFabWire: return "causal.fab_wire";
+    case Event::kCausalFabHop: return "causal.fab_contention";
+    case Event::kCausalFabCredit: return "causal.fab_credit";
+    case Event::kCausalRx: return "causal.rx";
+    case Event::kCausalMCache: return "causal.mcache_miss";
+    case Event::kCausalHandler: return "causal.handler";
+    case Event::kCausalDeliver: return "causal.deliver";
+    case Event::kCausalBarrier: return "causal.barrier";
   }
   return "unknown";
 }

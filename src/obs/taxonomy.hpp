@@ -19,8 +19,9 @@ enum class Component : std::uint8_t {
   kDsm = 5,         ///< DSM protocol (faults, fetches)
   kNic = 6,         ///< board substrate (tx/rx processors, AIH)
   kHost = 7,        ///< host CPU (kernel path on the standard NIC)
+  kFabric = 8,      ///< ATM fabric (switch stages, links, credits)
 };
-inline constexpr std::uint32_t kComponentCount = 8;
+inline constexpr std::uint32_t kComponentCount = 9;
 
 enum class Event : std::uint8_t {
   // Message Cache. arg0 = source VA, arg1 = span bytes.
@@ -51,14 +52,29 @@ enum class Event : std::uint8_t {
   kKernelSend = 17,
   kKernelRecv = 18,
   kHostInterrupt = 19,
+  // Causal stages (Kind::kCausal). arg0 = this span's token, arg1 = the
+  // parent span's token (0 for a chain root). Tokens derive from the frame
+  // header's (origin node, seq) plus the stage id — see obs/causal.hpp —
+  // so an entire remote round trip reconstructs as one parent-linked tree.
+  kCausalFault = 20,     ///< span: fault trap -> page usable (chain root)
+  kCausalTx = 21,        ///< span: send accepted -> SAR complete
+  kCausalFabWire = 22,   ///< span: switch-stage + link serialization/flight
+  kCausalFabHop = 23,    ///< span: switch-port contention wait
+  kCausalFabCredit = 24, ///< span: credit-stall wait (Clos backpressure)
+  kCausalRx = 25,        ///< span: arrival -> handler/channel dispatch
+  kCausalMCache = 26,    ///< span: Message Cache miss penalty on the tx path
+  kCausalHandler = 27,   ///< span: AIH / host handler service
+  kCausalDeliver = 28,   ///< span: reply serviced -> waiting thread resumed
+  kCausalBarrier = 29,   ///< span: barrier arrive -> release
 };
-inline constexpr std::uint32_t kEventCount = 20;
+inline constexpr std::uint32_t kEventCount = 30;
 
 /// What a record means in Chrome trace_event terms.
 enum class Kind : std::uint8_t {
   kInstant = 0,  ///< ph "i": a point in simulated time
   kSpan = 1,     ///< ph "X": a complete event with a duration
   kCounter = 2,  ///< ph "C": a sampled counter value (arg0)
+  kCausal = 3,   ///< ph "X" + parent link: a causal-tree edge (obs/causal.hpp)
 };
 
 [[nodiscard]] const char* component_name(Component c);

@@ -1,0 +1,68 @@
+#include "sim/shard_profiler.hpp"
+
+#include <chrono>
+
+namespace cni::sim {
+namespace {
+
+/// The one sanctioned host-clock read in src/sim. Profiling telemetry only:
+/// the value is never compared against simulated time and never influences
+/// the epoch schedule, so determinism of every artifact is untouched.
+std::uint64_t wall_ns() {
+  // cni-lint: allow(determinism): profiler telemetry; never feeds the model
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch).count());
+}
+
+}  // namespace
+
+const char* shard_phase_name(ShardPhase p) {
+  switch (p) {
+    case ShardPhase::kIdle: return "idle";
+    case ShardPhase::kBusy: return "busy";
+    case ShardPhase::kDrain: return "drain";
+    case ShardPhase::kBarrierWait: return "barrier_wait";
+    case ShardPhase::kFusedWindow: return "fused_window";
+  }
+  return "unknown";
+}
+
+void ShardProfiler::enable(std::uint32_t shards) {
+  slots_.assign(shards, Slot{});
+  const std::uint64_t now = wall_ns();
+  for (Slot& s : slots_) s.last_ns = now;
+}
+
+void ShardProfiler::transition(std::uint32_t shard, ShardPhase next) {
+  if (slots_.empty()) return;
+  Slot& s = slots_[shard];
+  const std::uint64_t now = wall_ns();
+  s.ns[static_cast<std::size_t>(s.phase)] += now - s.last_ns;
+  s.last_ns = now;
+  s.phase = next;
+  ++s.transitions;
+}
+
+void ShardProfiler::finish() {
+  const std::uint64_t now = wall_ns();
+  for (Slot& s : slots_) {
+    s.ns[static_cast<std::size_t>(s.phase)] += now - s.last_ns;
+    s.last_ns = now;
+    s.phase = ShardPhase::kIdle;
+  }
+}
+
+std::vector<ShardProfile> ShardProfiler::profiles() const {
+  std::vector<ShardProfile> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    ShardProfile p;
+    for (std::size_t i = 0; i < kShardPhaseCount; ++i) p.ns[i] = s.ns[i];
+    p.transitions = s.transitions;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace cni::sim

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/shard_profiler.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_annotations.hpp"
@@ -95,7 +96,7 @@ std::uint64_t route_window(SimTime base, SimDuration window, SimDuration horizon
 template <typename WaitPeers, typename Publish>
 void fused_shard_loop(Engine& eng, std::uint32_t shard, const FusedHooks& hooks,
                       SimDuration drain_horizon, WaitPeers&& wait_peers,
-                      Publish&& publish) {
+                      Publish&& publish, ShardProfiler* prof) {
   FusionLedger& led = *hooks.ledger;
   const SimTime base = led.base();
   const SimDuration w = led.window();
@@ -104,6 +105,7 @@ void fused_shard_loop(Engine& eng, std::uint32_t shard, const FusedHooks& hooks,
     const SimTime t_ev = eng.next_time();
     const SimTime h_loc = hooks.local_min(shard);
     if (t_ev == kNever && h_loc == kNever) {
+      if (prof != nullptr) prof->transition(shard, ShardPhase::kIdle);
       publish(kIdleWord);
       return;
     }
@@ -118,13 +120,17 @@ void fused_shard_loop(Engine& eng, std::uint32_t shard, const FusedHooks& hooks,
       publish(completed = need);
       j = need;
     }
+    if (prof != nullptr) prof->transition(shard, ShardPhase::kFusedWindow);
     wait_peers(j);
     if (led.stop_window() <= j) {
+      if (prof != nullptr) prof->transition(shard, ShardPhase::kIdle);
       publish(kIdleWord);
       return;
     }
     const SimTime start_j = base + j * w;
+    if (prof != nullptr) prof->transition(shard, ShardPhase::kDrain);
     hooks.local_drain(shard, start_j + drain_horizon);
+    if (prof != nullptr) prof->transition(shard, ShardPhase::kBusy);
     eng.run_before(start_j + w);
     publish(completed = j + 1);
   }
@@ -166,7 +172,8 @@ class EpochCrew {
   enum class Cmd : std::uint8_t { kNormal, kFused, kStop };
 
   EpochCrew(std::span<Engine* const> engines, const FusedHooks& hooks,
-            const EpochParams& params, EpochStats* stats) CNI_ACQUIRE(barrier_cap_)
+            const EpochParams& params, EpochStats* stats,
+            ShardProfiler* prof) CNI_ACQUIRE(barrier_cap_)
       : engines_(engines),
         hooks_(hooks),
         drain_horizon_(params.drain_horizon),
@@ -174,7 +181,8 @@ class EpochCrew {
         errors_(engines.size()),
         arrivals_(engines.size()),
         progress_(engines.size()),
-        stats_(stats) {
+        stats_(stats),
+        prof_(prof) {
     threads_.reserve(engines.size() - 1);
     for (std::size_t s = 1; s < engines.size(); ++s) {
       threads_.emplace_back([this, s] { worker(s); });
@@ -199,16 +207,21 @@ class EpochCrew {
     if (remote_work) {
       const std::uint64_t g = publish_cmd(Cmd::kNormal, bound);
       shard_cap_.acquire();  // the coordinator doubles as shard 0's executor
+      if (prof_ != nullptr) prof_->transition(0, ShardPhase::kBusy);
       run_shard(0, bound);
+      if (prof_ != nullptr) prof_->transition(0, ShardPhase::kBarrierWait);
       shard_cap_.release();
       await_workers(g);
+      if (prof_ != nullptr) prof_->transition(0, ShardPhase::kIdle);
       if (stats_ != nullptr) ++stats_->barriers;
     } else {
       // Workers stay parked: the last rendezvous (or thread creation)
       // ordered their shard state before us, so running shard 0 inline
       // still holds the executor role legitimately.
       shard_cap_.acquire();
+      if (prof_ != nullptr) prof_->transition(0, ShardPhase::kBusy);
       run_shard(0, bound);
+      if (prof_ != nullptr) prof_->transition(0, ShardPhase::kIdle);
       shard_cap_.release();
     }
     account_epoch(false);
@@ -225,8 +238,10 @@ class EpochCrew {
     const std::uint64_t g = publish_cmd(Cmd::kFused, 0);
     shard_cap_.acquire();  // coordinator executes shard 0's fused loop inline
     run_fused_shard(0);
+    if (prof_ != nullptr) prof_->transition(0, ShardPhase::kBarrierWait);
     shard_cap_.release();
     await_workers(g);
+    if (prof_ != nullptr) prof_->transition(0, ShardPhase::kIdle);
     if (stats_ != nullptr) ++stats_->barriers;
     account_epoch(true);
     *stop_out = hooks_.ledger->stop_window();
@@ -299,10 +314,13 @@ class EpochCrew {
         return;
       }
       shard_cap_.acquire();  // our shard's engine/error slot is ours now
+      const auto sh = static_cast<std::uint32_t>(shard);
       if (cmd == Cmd::kNormal) {
+        if (prof_ != nullptr) prof_->transition(sh, ShardPhase::kBusy);
         run_shard(shard, bound_);
+        if (prof_ != nullptr) prof_->transition(sh, ShardPhase::kIdle);
       } else {
-        run_fused_shard(shard);
+        run_fused_shard(shard);  // the fused loop drives its own transitions
       }
       shard_cap_.release();
       barrier_cap_.release_shared();
@@ -339,7 +357,8 @@ class EpochCrew {
           [this, shard](std::uint64_t c) {
             shard_cap_.assert_held();  // same context as the wait hook
             publish_progress(shard, c);
-          });
+          },
+          prof_);
     } catch (...) {
       errors_[shard] = std::current_exception();
       // Abort path: stop peers at the next window they enter and unblock
@@ -408,6 +427,9 @@ class EpochCrew {
   std::vector<Word> arrivals_;  // per-shard padded barrier arrival words
   std::vector<Word> progress_;  // per-shard padded fused-window progress
   EpochStats* stats_ CNI_PT_GUARDED_BY(barrier_cap_);
+  /// Null when profiling is off. Each shard thread calls transition() only
+  /// on its own padded slot, so no guarding capability is needed.
+  ShardProfiler* prof_;
   std::atomic<std::uint64_t> gen_{0};
   // Command payload: written by the coordinator only while workers are
   // parked, read by workers after the acquire on gen_ — plain fields.
@@ -422,10 +444,13 @@ class EpochCrew {
 /// drain/run cycle. This is what keeps single-shard runs within noise of —
 /// now measurably ahead of — the legacy sequential engine.
 void run_epochs_inline(Engine& engine, const EpochParams& params, const FusedHooks& hooks,
-                       util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
+                       util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats,
+                       ShardProfiler* prof) {
   SimTime epoch_end = 0;
   for (;;) {
+    if (prof != nullptr) prof->transition(0, ShardPhase::kDrain);
     const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
+    if (prof != nullptr) prof->transition(0, ShardPhase::kIdle);
     const SimTime t_min = engine.next_time();
     if (t_min == kNever && pending_min == kNever) return;
     const std::uint64_t before = engine.events_executed();
@@ -433,7 +458,7 @@ void run_epochs_inline(Engine& engine, const EpochParams& params, const FusedHoo
       FusionLedger& led = *hooks.ledger;
       led.reset(t_min, params.lookahead);
       fused_shard_loop(engine, 0, hooks, params.drain_horizon,
-                       [](std::uint64_t) {}, [](std::uint64_t) {});
+                       [](std::uint64_t) {}, [](std::uint64_t) {}, prof);
       const std::uint64_t stop = led.stop_window();
       if (stop != FusionLedger::kNoStop) {
         epoch_end = sat_add(led.base(), stop * led.window());
@@ -448,7 +473,9 @@ void run_epochs_inline(Engine& engine, const EpochParams& params, const FusedHoo
     } else {
       const SimTime next = next_epoch_end(t_min, pending_min, params);
       CNI_CHECK_MSG(next > epoch_end, "epoch scheduler failed to advance");
+      if (prof != nullptr) prof->transition(0, ShardPhase::kBusy);
       engine.run_before(next);
+      if (prof != nullptr) prof->transition(0, ShardPhase::kIdle);
       if (stats != nullptr) {
         const std::uint64_t n = engine.events_executed() - before;
         ++stats->epochs;
@@ -464,19 +491,23 @@ void run_epochs_inline(Engine& engine, const EpochParams& params, const FusedHoo
 
 void run_epochs(std::span<Engine* const> engines, const EpochParams& params,
                 const LookaheadMatrix* matrix, const FusedHooks& hooks,
-                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats) {
+                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats,
+                ShardProfiler* prof) {
   CNI_CHECK_MSG(!engines.empty(), "run_epochs needs at least one shard");
   CNI_CHECK_MSG(params.lookahead > 0 && params.drain_horizon > 0 && params.pending_bound > 0,
                 "epoch margins must be positive for the scheduler to advance");
+  if (prof != nullptr && !prof->enabled()) prof = nullptr;
   if (engines.size() == 1) {
-    run_epochs_inline(*engines[0], params, hooks, drain, stats);
+    run_epochs_inline(*engines[0], params, hooks, drain, stats, prof);
     return;
   }
-  EpochCrew crew(engines, hooks, params, stats);
+  EpochCrew crew(engines, hooks, params, stats, prof);
   std::vector<SimTime> t_next(engines.size(), kNever);
   SimTime epoch_end = 0;
   for (;;) {
+    if (prof != nullptr) prof->transition(0, ShardPhase::kDrain);
     const SimTime pending_min = drain(sat_add(epoch_end, params.drain_horizon));
+    if (prof != nullptr) prof->transition(0, ShardPhase::kIdle);
     SimTime t_min = kNever;
     for (std::size_t s = 0; s < engines.size(); ++s) {
       t_next[s] = engines[s]->next_time();

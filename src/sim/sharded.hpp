@@ -46,6 +46,8 @@
 
 namespace cni::sim {
 
+class ShardProfiler;  // sim/shard_profiler.hpp — opt-in wall-time attribution
+
 /// Contiguous-block assignment of `nodes` simulated nodes to `shards`
 /// engines. Blocks (not round-robin) keep DSM neighbours — which exchange
 /// the most frames — inside one shard where their traffic needs no barrier.
@@ -279,8 +281,13 @@ struct FusedHooks {
 /// threads that live for the whole call. Exceptions thrown inside a shard
 /// (e.g. a failed CNI_CHECK in a fiber) stop the run at the next barrier and
 /// the lowest-shard exception is rethrown on the calling thread.
+///
+/// `prof` (optional, enabled via ShardProfiler::enable) receives wall-time
+/// phase transitions at epoch and sub-window boundaries only — never inside
+/// the event loop. Null (the default) costs nothing.
 void run_epochs(std::span<Engine* const> engines, const EpochParams& params,
                 const LookaheadMatrix* matrix, const FusedHooks& hooks,
-                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats = nullptr);
+                util::FunctionRef<SimTime(SimTime)> drain, EpochStats* stats = nullptr,
+                ShardProfiler* prof = nullptr);
 
 }  // namespace cni::sim

@@ -1,0 +1,45 @@
+// Fixture: shard execution profiler counters. Each padded slot belongs to
+// one shard thread; its phase accumulators are CNI_GUARDED_BY the shard
+// role, so a write from a method that neither declares the capability nor
+// asserts it must be flagged. The compliant transition (declared) and the
+// coordinator's post-join harvest (asserted by protocol) are clean — the
+// exact shape src/sim/shard_profiler.hpp relies on.
+// analyze-expect: shard-ownership
+#pragma once
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class ProfilerSlot {
+ public:
+  cni::util::Capability owner;
+
+  void bad_unowned_transition(std::uint64_t now, std::uint32_t next) {
+    phase_ns_[phase_] += now - last_ns_;
+    last_ns_ = now;
+    phase_ = next;
+  }
+
+  void good_transition(std::uint64_t now, std::uint32_t next) CNI_REQUIRES(owner) {
+    phase_ns_[phase_] += now - last_ns_;
+    last_ns_ = now;
+    phase_ = next;
+  }
+
+  void good_harvest_reset() {
+    // Held by protocol: the coordinator harvests after joining the shard
+    // threads, so the join's happens-before stands in for a lock.
+    owner.assert_held();
+    for (std::uint64_t& ns : phase_ns_) ns = 0;
+  }
+
+ private:
+  std::uint64_t last_ns_ CNI_GUARDED_BY(owner) = 0;
+  std::uint32_t phase_ CNI_GUARDED_BY(owner) = 0;
+  std::uint64_t phase_ns_[5] CNI_GUARDED_BY(owner) = {};
+};
+
+}  // namespace fixture

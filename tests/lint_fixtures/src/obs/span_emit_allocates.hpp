@@ -1,0 +1,21 @@
+// Fixture: span emission is on the event hot path — a causal-record emit
+// that builds a node-based map per token (e.g. to dedupe parents) would
+// allocate per event. The obs directory is inside the hot-path-alloc
+// rule's scope; util::U64FlatMap is the sanctioned replacement.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct BadSpanEmitter {
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+
+  void emit(std::uint64_t token, std::uint64_t parent) {
+    parent_of[token] = parent;
+  }
+};
+
+}  // namespace fixture

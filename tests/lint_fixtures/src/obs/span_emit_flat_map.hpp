@@ -1,0 +1,25 @@
+// Fixture: the compliant twin of span_emit_allocates.hpp — parent links in
+// a preallocated open-addressing table (the shape of util::U64FlatMap; the
+// fixture tree compiles standalone, so the real header is mimicked, not
+// included). No expectations: this file must lint clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct GoodSpanEmitter {
+  static constexpr std::size_t kSlots = 64;  // power of two
+  std::uint64_t keys[kSlots] = {};
+  std::uint64_t vals[kSlots] = {};
+
+  void emit(std::uint64_t token, std::uint64_t parent) {
+    std::size_t i = static_cast<std::size_t>(token) & (kSlots - 1);
+    while (keys[i] != 0 && keys[i] != token) i = (i + 1) & (kSlots - 1);
+    keys[i] = token;
+    vals[i] = parent;
+  }
+};
+
+}  // namespace fixture

@@ -9,6 +9,7 @@
 
 #include "apps/jacobi.hpp"
 #include "apps/runner.hpp"
+#include "atm/topology.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "sim/stats.hpp"
@@ -150,9 +151,65 @@ TEST(ObsReport, ChromeTraceShapeAndMetricsTotalsMatchLegacy) {
 
   const std::string report = obs::run_report_json("t", {{"k", "v"}}, pts);
   EXPECT_NE(report.find("\"schema\":\"cni-run-report\""), std::string::npos);
-  EXPECT_NE(report.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(report.find("\"version\":2"), std::string::npos);
   EXPECT_NE(report.find("\"legacy\""), std::string::npos);
+  EXPECT_NE(report.find("\"trace_truncated\":false"), std::string::npos);
+  EXPECT_NE(report.find("\"critpath\":"), std::string::npos);
 }
+
+/// One traced Jacobi run on `topo` with a fixed shard count. Four nodes so a
+/// K=4 run puts every node in its own shard — the maximal cross-shard case.
+apps::RunResult traced_topo_run(atm::TopologyKind topo, std::uint32_t shards) {
+  cluster::SimParams params = make_params(BoardKind::kCni, 4);
+  params.fabric.topology = topo;
+  params.sim_shards = shards;
+  params.obs.trace = true;
+  params.obs.trace_capacity = 8192;
+  return apps::run_jacobi(params, apps::JacobiConfig{24, 3, 6}, nullptr);
+}
+
+/// Trace export under every fabric topology (test_obs_trace was banyan-only
+/// before the causal-tracing PR): the causal spans ride the same frames the
+/// topology routes, so per-hop Clos/torus paths must neither perturb the
+/// simulation nor make the exports shard-count-dependent.
+class ObsTraceTopology : public ::testing::TestWithParam<atm::TopologyKind> {};
+
+TEST_P(ObsTraceTopology, ExportsByteIdenticalAcrossK1AndK4) {
+  const apps::RunResult k1 = traced_topo_run(GetParam(), 1);
+  const apps::RunResult k4 = traced_topo_run(GetParam(), 4);
+
+  EXPECT_EQ(k1.elapsed, k4.elapsed);  // simulated result first
+  for (const sim::NodeStats::Field& f : sim::NodeStats::fields()) {
+    EXPECT_EQ(k1.totals.*f.member, k4.totals.*f.member) << f.name;
+  }
+
+  const std::vector<obs::ReportPoint> p1{to_point(k1)};
+  const std::vector<obs::ReportPoint> p4{to_point(k4)};
+  EXPECT_EQ(obs::chrome_trace_json(p1), obs::chrome_trace_json(p4));
+  EXPECT_EQ(obs::run_report_json("test_obs_trace", {}, p1),
+            obs::run_report_json("test_obs_trace", {}, p4));
+}
+
+TEST_P(ObsTraceTopology, CausalSpansSurviveTheTopology) {
+  const std::string trace = obs::chrome_trace_json({to_point(traced_topo_run(GetParam(), 4))});
+#if CNI_OBS_ENABLED
+  // The remote-fault chain's anchor stages must appear regardless of how
+  // many switch stages or dimension hops sit between the endpoints.
+  EXPECT_NE(trace.find("causal.tx"), std::string::npos);
+  EXPECT_NE(trace.find("causal.fab_wire"), std::string::npos);
+  EXPECT_NE(trace.find("causal.deliver"), std::string::npos);
+#else
+  EXPECT_EQ(trace.find("causal."), std::string::npos);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, ObsTraceTopology,
+                         ::testing::Values(atm::TopologyKind::kBanyan,
+                                           atm::TopologyKind::kClos,
+                                           atm::TopologyKind::kTorus),
+                         [](const ::testing::TestParamInfo<atm::TopologyKind>& pi) {
+                           return std::string(atm::topology_name(pi.param));
+                         });
 
 }  // namespace
 }  // namespace cni
