@@ -1,0 +1,252 @@
+// Barrier/collective scaling: NIC-resident combining tree vs host baseline.
+//
+// The tentpole claim behind --collective=nic (DESIGN.md §16): the seed's
+// centralized barrier serializes O(N) arrive/release messages through one
+// manager NIC, so barrier latency grows linearly with node count, while the
+// topology-derived combining tree runs the same episode in O(log N) —
+// combine handlers fold child contributions on the NIC processor as packets
+// arrive, and the down-sweep fans the release out over the same tree. This
+// benchmark plots that crossover: simulated barrier and reduce latency per
+// episode against node count, for
+//
+//   * cni_tree       — CNI board, --collective=nic (the AIH combining tree)
+//   * cni_host       — CNI board, --collective=host (centralized manager;
+//                      isolates the protocol change from the board change)
+//   * standard_host  — standard NIC, host collectives (the full baseline)
+//
+// across all three fabric topologies. The tree shape itself is printed per
+// point (fanin/depth) — the banyan and the multi-stage fabrics pick
+// different fan-in from their zero-load distances at 1024 nodes.
+//
+// The sharded engine is honored through the ambient CNI_SIM_SHARDS /
+// CNI_SIM_FUSION / CNI_SIM_PAIR_LOOKAHEAD knobs, so the parsim-identity CI
+// row can diff this binary's artifacts across K and fusion settings. Every
+// simulated number is shard-count independent.
+//
+// Usage: fig_barrier_scaling [--json] [--fast] [--nodes=N] [--rounds=N]
+//                            [--topology=banyan|clos|torus] [report flags]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "atm/topology.hpp"
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "dsm/context.hpp"
+#include "dsm/system.hpp"
+#include "obs/report.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using cni::atm::TopologyKind;
+using cni::cluster::BoardKind;
+using cni::cluster::CollectiveMode;
+
+struct Mode {
+  const char* name;
+  BoardKind board;
+  CollectiveMode collective;
+};
+
+constexpr Mode kModes[] = {
+    {"cni_tree", BoardKind::kCni, CollectiveMode::kNic},
+    {"cni_host", BoardKind::kCni, CollectiveMode::kHost},
+    {"standard_host", BoardKind::kStandard, CollectiveMode::kHost},
+};
+
+struct ModeResult {
+  const char* name = "";
+  std::uint64_t barrier_ps = 0;  ///< simulated latency per barrier episode
+  std::uint64_t reduce_ps = 0;   ///< simulated latency per reduce episode
+  std::uint64_t elapsed_cycles = 0;  ///< barrier phase, host CPU cycles
+  std::uint32_t fanin = 0;
+  std::uint32_t depth = 0;
+  cni::obs::Snapshot snapshot;       ///< barrier phase
+  cni::sim::NodeStats totals;        ///< barrier phase
+};
+
+struct Point {
+  std::string name;
+  const char* topology = "";
+  std::uint32_t nodes = 0;
+  std::vector<ModeResult> modes;
+};
+
+cni::cluster::SimParams point_params(TopologyKind kind, const Mode& mode,
+                                     std::uint32_t nodes) {
+  cni::cluster::SimParams params = cni::apps::make_params(mode.board, nodes);
+  std::uint32_t ports = 32;
+  while (ports < nodes) ports *= 2;
+  params.fabric.switch_ports = ports;
+  params.fabric.topology = kind;
+  // Barrier-only node bodies touch almost no stack; the default 512 KiB
+  // fiber would cost 2 GiB of host address space at 4096 nodes.
+  params.thread_stack_bytes = 64 * 1024;
+  return params;
+}
+
+/// One phase = one fresh cluster running `rounds` episodes of `body`.
+/// Returns the cluster's simulated elapsed time.
+template <typename Body>
+cni::sim::SimTime run_phase(const cni::cluster::SimParams& params,
+                            const cni::dsm::DsmParams& dp, std::uint32_t rounds,
+                            Body body, ModeResult* out) {
+  using namespace cni;
+  cluster::Cluster cl(params);
+  dsm::DsmSystem sys(cl, dp);
+  const sim::SimTime elapsed = cl.run([&](std::size_t i, sim::SimThread& t) {
+    dsm::DsmContext ctx(sys, i, t);
+    for (std::uint32_t r = 0; r < rounds; ++r) body(ctx, r);
+  });
+  if (out != nullptr) {
+    out->elapsed_cycles = cl.elapsed_cpu_cycles();
+    out->fanin = sys.collective_tree().fanin;
+    out->depth = sys.collective_tree().depth;
+    out->snapshot = cl.snapshot();
+    out->totals = cl.stats().total();
+  }
+  return elapsed;
+}
+
+ModeResult run_mode(TopologyKind kind, const Mode& mode, std::uint32_t nodes,
+                    std::uint32_t rounds) {
+  using namespace cni;
+  const cluster::SimParams params = point_params(kind, mode, nodes);
+  dsm::DsmParams dp;
+  dp.collective = mode.collective;
+
+  ModeResult m;
+  m.name = mode.name;
+  const sim::SimTime bar = run_phase(
+      params, dp, rounds,
+      [](dsm::DsmContext& ctx, std::uint32_t) { ctx.barrier(); }, &m);
+  const sim::SimTime red = run_phase(
+      params, dp, rounds,
+      [](dsm::DsmContext& ctx, std::uint32_t r) {
+        ctx.reduce_u64(dsm::ReduceOp::kSum, ctx.self() + r);
+      },
+      nullptr);
+  m.barrier_ps = bar / rounds;
+  m.reduce_ps = red / rounds;
+  return m;
+}
+
+void print_json(const std::vector<Point>& points, std::uint32_t rounds) {
+  std::printf("{\n  \"rounds\": %u,\n  \"points\": {\n", rounds);
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    const Point& p = points[pi];
+    std::printf("    \"%s\": {\n", p.name.c_str());
+    std::printf("      \"topology\": \"%s\", \"nodes\": %u,\n", p.topology, p.nodes);
+    std::printf("      \"modes\": {\n");
+    for (std::size_t i = 0; i < p.modes.size(); ++i) {
+      const ModeResult& m = p.modes[i];
+      std::printf(
+          "        \"%s\": {\"barrier_ps\": %llu, \"reduce_ps\": %llu, "
+          "\"elapsed_cycles\": %llu, \"fanin\": %u, \"depth\": %u}%s\n",
+          m.name, static_cast<unsigned long long>(m.barrier_ps),
+          static_cast<unsigned long long>(m.reduce_ps),
+          static_cast<unsigned long long>(m.elapsed_cycles), m.fanin, m.depth,
+          i + 1 < p.modes.size() ? "," : "");
+    }
+    std::printf("      }\n    }%s\n", pi + 1 < points.size() ? "," : "");
+  }
+  std::printf("  }\n}\n");
+}
+
+void print_table(const Point& p) {
+  std::printf("\n%s\n", p.name.c_str());
+  std::printf("%-14s %16s %16s %8s %8s\n", "mode", "barrier_us", "reduce_us",
+              "fanin", "depth");
+  for (const ModeResult& m : p.modes) {
+    std::printf("%-14s %16.2f %16.2f %8u %8u\n", m.name,
+                static_cast<double>(m.barrier_ps) / 1e6,
+                static_cast<double>(m.reduce_ps) / 1e6, m.fanin, m.depth);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cni;
+  obs::Reporter reporter(argc, argv, "fig_barrier_scaling");
+  cluster::apply_fabric_cli(argc, argv, &reporter);
+  reporter.add_config("figure", "fig_barrier_scaling");
+  reporter.add_config("app", "barrier");
+
+  bool json = false;
+  bool fast = bench::fast_mode();
+  bool topo_pinned = false;
+  std::uint32_t nodes_arg = 0;
+  std::uint32_t rounds_arg = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strncmp(argv[i], "--topology=", 11) == 0) topo_pinned = true;
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+    }
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds_arg = static_cast<std::uint32_t>(std::atoi(argv[i] + 9));
+    }
+  }
+
+  std::vector<std::uint32_t> node_counts;
+  if (nodes_arg != 0) {
+    node_counts = {nodes_arg};
+  } else if (fast) {
+    node_counts = {64, 256};
+  } else {
+    node_counts = {256, 1024, 4096};
+  }
+  const std::uint32_t rounds = rounds_arg != 0 ? rounds_arg : (fast ? 4 : 8);
+
+  // --topology pins the sweep to one fabric (apply_fabric_cli already made
+  // it the default); otherwise cover all three.
+  std::vector<TopologyKind> kinds = {TopologyKind::kBanyan, TopologyKind::kClos,
+                                     TopologyKind::kTorus};
+  if (topo_pinned) kinds = {atm::default_topology()};
+
+  std::vector<Point> points;
+  for (const TopologyKind kind : kinds) {
+    for (const std::uint32_t nodes : node_counts) {
+      Point p;
+      p.topology = atm::topology_name(kind);
+      p.nodes = nodes;
+      p.name = std::string(p.topology) + "/" + std::to_string(nodes);
+      for (const Mode& mode : kModes) {
+        p.modes.push_back(run_mode(kind, mode, nodes, rounds));
+      }
+      // The tree must beat the centralized protocols once the O(N) manager
+      // serialization dominates — the acceptance bar for this figure.
+      if (nodes >= 1024) {
+        CNI_CHECK_MSG(p.modes[0].barrier_ps < p.modes[1].barrier_ps &&
+                          p.modes[0].barrier_ps < p.modes[2].barrier_ps,
+                      "NIC tree barrier lost to the centralized baseline");
+      }
+      if (!json) print_table(p);
+      if (reporter.active()) {
+        for (const ModeResult& m : p.modes) {
+          obs::ReportPoint pt;
+          pt.label = p.name + " mode=" + m.name;
+          pt.config = {{"topology", p.topology},
+                       {"nodes", std::to_string(p.nodes)},
+                       {"mode", m.name}};
+          pt.values = {{"barrier_ps", static_cast<double>(m.barrier_ps)},
+                       {"reduce_ps", static_cast<double>(m.reduce_ps)},
+                       {"fanin", static_cast<double>(m.fanin)},
+                       {"depth", static_cast<double>(m.depth)}};
+          bench::fill_legacy(pt, m.totals);
+          pt.snapshot = m.snapshot;
+          reporter.add_point(std::move(pt));
+        }
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  if (json) print_json(points, rounds);
+  return reporter.finish() ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Regenerates BENCH_engine.json, BENCH_datapath.json, BENCH_obs.json,
-BENCH_parsim.json and BENCH_topology.json.
+BENCH_parsim.json, BENCH_topology.json and BENCH_collectives.json.
 
 Usage: scripts/bench_engine.py [build-dir]
        scripts/bench_engine.py --trajectory
@@ -21,7 +21,9 @@ scaling points from micro_parsim (wall clock plus the machine-independent
 event-parallelism bound per shard count), and the fabric-topology scaling
 grid from micro_topology (banyan/Clos/torus at 256/1024/4096 nodes under
 incast, permutation and hot-spot traffic, with each topology's exported
-per-shard-pair lookahead range).
+per-shard-pair lookahead range), and the collective scaling grid from
+fig_barrier_scaling (barrier/reduce latency per episode for the NIC-resident
+combining tree vs the centralized baselines, all three fabrics).
 
 Every context block records CNI_BENCH_JOBS / CNI_SIM_SHARDS and the resolved
 sweep worker count so runs taken under different fan-out settings are never
@@ -400,6 +402,75 @@ def write_topology() -> None:
     print(f"wrote {path}")
 
 
+COLLECTIVES_SCHEMA_VERSION = 1
+
+COLLECTIVE_MODES = ("cni_tree", "cni_host", "standard_host")
+COLLECTIVE_MODE_FIELDS = ("barrier_ps", "reduce_ps", "elapsed_cycles",
+                          "fanin", "depth")
+COLLECTIVE_NODE_COUNTS = (256, 1024, 4096)
+
+
+def validate_collectives(report: dict) -> None:
+    """Shape contract for BENCH_collectives.json (schema v1): the full
+    topology x node-count grid is present, every point carries all three
+    modes with their latency/tree-shape fields, and the NIC combining tree
+    beats both centralized baselines once the O(N) manager serialization
+    dominates (>= 1024 nodes) — the fig_barrier_scaling acceptance bar."""
+    points = report["points"]
+    for topo in TOPOLOGIES:
+        for nodes in COLLECTIVE_NODE_COUNTS:
+            key = f"{topo}/{nodes}"
+            if key not in points:
+                raise ValueError(f"missing point {key}")
+    for pname, point in points.items():
+        where = f"points.{pname}"
+        modes = point["modes"]
+        for mname in COLLECTIVE_MODES:
+            if mname not in modes:
+                raise ValueError(f"{where}: missing mode {mname}")
+            for field in COLLECTIVE_MODE_FIELDS:
+                if field not in modes[mname]:
+                    raise ValueError(f"{where}.modes.{mname}: missing {field}")
+        tree = modes["cni_tree"]
+        if point["nodes"] >= 1024:
+            for base in ("cni_host", "standard_host"):
+                if tree["barrier_ps"] >= modes[base]["barrier_ps"]:
+                    raise ValueError(
+                        f"{where}: cni_tree barrier lost to {base}")
+        if tree["fanin"] < 1 or tree["depth"] < 1:
+            raise ValueError(f"{where}: degenerate combining tree")
+
+
+def write_collectives() -> None:
+    # fig_barrier_scaling sweeps 256/1024/4096 nodes for all three fabrics in
+    # all three collective modes; the 4096-node centralized baselines make it
+    # the slowest artifact here (several minutes on one core).
+    out = subprocess.run(
+        [str(BUILD / "bench" / "fig_barrier_scaling"), "--json"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    report = json.loads(out)
+    validate_collectives(report)
+
+    result = {
+        "schema_version": COLLECTIVES_SCHEMA_VERSION,
+        "context": {
+            "host": platform.node(),
+            "num_cpus": os.cpu_count(),
+            "date": datetime.datetime.now().astimezone().isoformat(timespec="seconds"),
+            **env_context(),
+        },
+        **report,
+    }
+
+    path = ROOT / "BENCH_collectives.json"
+    result["history"] = load_history(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def _num(d, *path):
     """Digs `path` out of nested dicts, returning None on any missing key —
     history blocks written by older schema versions may lack newer fields."""
@@ -466,12 +537,31 @@ def _headline_topology(s: dict) -> dict:
     }
 
 
+def _headline_collectives(s: dict) -> dict:
+    points = s.get("points") or {}
+
+    def speedup(key):
+        modes = (points.get(key) or {}).get("modes") or {}
+        tree = (modes.get("cni_tree") or {}).get("barrier_ps")
+        host = (modes.get("standard_host") or {}).get("barrier_ps")
+        if not tree or not host:
+            return None
+        return round(host / tree, 2)
+
+    return {
+        "banyan_1024_barrier_speedup": speedup("banyan/1024"),
+        "banyan_4096_barrier_speedup": speedup("banyan/4096"),
+        "torus_4096_barrier_speedup": speedup("torus/4096"),
+    }
+
+
 TRAJECTORY_BENCHES = (
     ("engine", "BENCH_engine.json", _headline_engine),
     ("datapath", "BENCH_datapath.json", _headline_datapath),
     ("obs", "BENCH_obs.json", _headline_obs),
     ("parsim", "BENCH_parsim.json", _headline_parsim),
     ("topology", "BENCH_topology.json", _headline_topology),
+    ("collectives", "BENCH_collectives.json", _headline_collectives),
 )
 
 
@@ -565,6 +655,7 @@ def main() -> None:
     write_obs()
     write_parsim()
     write_topology()
+    write_collectives()
     write_trajectory()
 
 

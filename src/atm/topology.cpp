@@ -1,5 +1,6 @@
 #include "atm/topology.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.hpp"
@@ -118,9 +119,14 @@ sim::SimTime SingleStageTopology::route(sim::SimTime head, NodeId src, NodeId ds
   const sim::SimTime out = switch_.route(head, src, dst, burst, lane);
   if (rt != nullptr) {
     // One traversal of the shared pipeline: everything beyond the switch's
-    // own latency is contention with earlier bursts.
-    rt->wire += switch_.latency();
-    rt->contend += (out - head) - switch_.latency();
+    // own latency is contention with earlier bursts. An uncontended route
+    // can come in a few picoseconds under the nominal latency (the per-stage
+    // cut-through divides it by the stage count), so clamp to the actual
+    // delay — the breakdown must sum to it exactly, never past it.
+    const sim::SimDuration delay = out - head;
+    const sim::SimDuration pipe = std::min(delay, switch_.latency());
+    rt->wire += pipe;
+    rt->contend += delay - pipe;
     ++rt->hops;
   }
   return out;
@@ -227,8 +233,13 @@ sim::SimTime ClosTopology::route(sim::SimTime head, NodeId src, NodeId dst,
     const sim::SimTime t0 = head;
     head = b.route(head, in, out, burst, lane);
     if (rt != nullptr) {
-      rt->wire += switch_latency_;
-      rt->contend += (head - t0) - switch_latency_;
+      // Same clamp as SingleStageTopology::route: the block's cut-through
+      // stages can undercut the nominal latency by rounding, and contention
+      // must never go negative.
+      const sim::SimDuration delay = head - t0;
+      const sim::SimDuration pipe = std::min(delay, switch_latency_);
+      rt->wire += pipe;
+      rt->contend += delay - pipe;
       ++rt->hops;
     }
   };

@@ -36,9 +36,41 @@ bool default_sim_fusion() { return env_switch_on("CNI_SIM_FUSION"); }
 
 bool default_sim_pair_lookahead() { return env_switch_on("CNI_SIM_PAIR_LOOKAHEAD"); }
 
+namespace {
+CollectiveMode g_default_collective = CollectiveMode::kHost;
+}  // namespace
+
+CollectiveMode default_collective() {
+  if (const char* env = std::getenv("CNI_COLLECTIVE"); env != nullptr) {
+    CollectiveMode mode = g_default_collective;
+    if (parse_collective(env, mode)) return mode;
+  }
+  return g_default_collective;
+}
+
+void set_default_collective(CollectiveMode mode) { g_default_collective = mode; }
+
+const char* collective_name(CollectiveMode mode) {
+  return mode == CollectiveMode::kNic ? "nic" : "host";
+}
+
+bool parse_collective(const char* text, CollectiveMode& out) {
+  const std::string_view v(text);
+  if (v == "nic") {
+    out = CollectiveMode::kNic;
+    return true;
+  }
+  if (v == "host") {
+    out = CollectiveMode::kHost;
+    return true;
+  }
+  return false;
+}
+
 void apply_fabric_cli(int argc, char** argv, obs::Reporter* report) {
   atm::TopologyKind kind = atm::default_topology();
   std::uint32_t ports = atm::default_switch_ports();
+  CollectiveMode collective = default_collective();
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--topology=", 11) == 0) {
@@ -61,12 +93,24 @@ void apply_fabric_cli(int argc, char** argv, obs::Reporter* report) {
         std::exit(2);
       }
       ports = static_cast<std::uint32_t>(v);
+    } else if (std::strncmp(arg, "--collective=", 13) == 0) {
+      CollectiveMode mode = collective;
+      if (!parse_collective(arg + 13, mode)) {
+        std::fprintf(stderr,
+                     "error: unknown collective mode '%s' (--collective takes nic or "
+                     "host)\n",
+                     arg + 13);
+        std::exit(2);
+      }
+      collective = mode;
     }
   }
   atm::set_default_fabric_shape(kind, ports);
+  set_default_collective(collective);
   if (report != nullptr) {
     report->add_config("topology", atm::topology_name(kind));
     report->add_config("fabric_ports", std::to_string(ports));
+    report->add_config("collective", collective_name(collective));
   }
 }
 

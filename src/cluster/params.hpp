@@ -43,14 +43,31 @@ inline constexpr std::uint32_t kAutoShards = 0xffffffffu;
 /// default on; `0`/`off` fall back to the single global lookahead bound.
 [[nodiscard]] bool default_sim_pair_lookahead();
 
-/// Applies `--topology=banyan|clos|torus` and `--ports=N` from argv to the
-/// process-wide fabric-shape defaults (atm::set_default_fabric_shape), so
-/// every SimParams built afterwards picks them up. Validates eagerly —
-/// unknown topology names and non-power-of-two port counts exit(2) with a
-/// message naming the accepted values — and ignores unrelated argv entries
-/// (obs::Reporter's flags and the benchmark's own). When `report` is given,
-/// the effective shape is recorded in the run report's config block, flags
-/// or not, so every artifact says which fabric produced it. Call once at
+/// Where DSM collective operations (barrier, reduce, broadcast) execute.
+enum class CollectiveMode : std::uint8_t {
+  kHost,  ///< centralized host manager on node 0 (the seed protocol)
+  kNic,   ///< NIC-resident combining tree: AIH handlers combine and forward
+};
+
+/// Process-default collective mode: CNI_COLLECTIVE (`nic` or `host`), else
+/// whatever set_default_collective installed, else kHost. Host stays the
+/// default so existing figure artifacts are untouched.
+[[nodiscard]] CollectiveMode default_collective();
+void set_default_collective(CollectiveMode mode);
+[[nodiscard]] const char* collective_name(CollectiveMode mode);
+/// Parses `nic` / `host`; returns false (out unchanged) on anything else.
+[[nodiscard]] bool parse_collective(const char* text, CollectiveMode& out);
+
+/// Applies `--topology=banyan|clos|torus`, `--ports=N` and
+/// `--collective=nic|host` from argv to the process-wide defaults
+/// (atm::set_default_fabric_shape / set_default_collective), so every
+/// SimParams / DsmParams built afterwards picks them up. Validates eagerly —
+/// unknown topology names, non-power-of-two port counts and unknown
+/// collective modes exit(2) with a message naming the accepted values — and
+/// ignores unrelated argv entries (obs::Reporter's flags and the benchmark's
+/// own). When `report` is given, the effective shape and collective mode are
+/// recorded in the run report's config block, flags or not, so every
+/// artifact says which fabric and barrier path produced it. Call once at
 /// startup, before any sweep worker builds a SimParams.
 void apply_fabric_cli(int argc, char** argv, obs::Reporter* report = nullptr);
 
@@ -75,6 +92,10 @@ struct SimParams {
   /// only); off = single global window. Artifacts are identical either way.
   /// Defaults from CNI_SIM_PAIR_LOOKAHEAD (on).
   bool sim_pair_lookahead = default_sim_pair_lookahead();
+  /// Fiber stack bytes per simulated node (0 = sim::SimThread's default).
+  /// Purely a host-memory knob — wide barrier-only sweeps (4096 nodes) can
+  /// run tiny stacks; simulated results never depend on it.
+  std::uint64_t thread_stack_bytes = 0;
 
   mem::CacheParams cache;     ///< 32 KB L1 / 1 MB L2, direct-mapped write-back
   mem::BusParams bus;         ///< 25 MHz, 4-cycle acquisition, 2 cycles/word

@@ -34,10 +34,13 @@ class AihRegion {
   /// nullopt if board memory is exhausted (the caller decides whether that
   /// is fatal; for the DSM protocol it is).
   std::optional<Segment> install(std::uint32_t handler_id, std::uint64_t code_bytes) {
+    CNI_CHECK_MSG(!segments_.contains(handler_id), "handler id already has a segment");
     auto offset = mem_.alloc(code_bytes, "aih-segment");
+    // Exhaustion is a clean refusal: no segment is recorded and the
+    // residency accounting is untouched, so the caller can diagnose (or
+    // evict and retry) against consistent numbers.
     if (!offset.has_value()) return std::nullopt;
     Segment seg{*offset, code_bytes};
-    CNI_CHECK_MSG(!segments_.contains(handler_id), "handler id already has a segment");
     segments_.insert(handler_id, seg);
     resident_bytes_ += code_bytes;
     return seg;
@@ -58,6 +61,8 @@ class AihRegion {
 
   [[nodiscard]] std::uint64_t resident_bytes() const { return resident_bytes_; }
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  /// The board memory backing the segments (for exhaustion diagnostics).
+  [[nodiscard]] const DualPortMemory& board_memory() const { return mem_; }
 
  private:
   DualPortMemory& mem_;

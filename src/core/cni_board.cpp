@@ -1,5 +1,7 @@
 #include "core/cni_board.hpp"
 
+#include <cstdio>
+
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
@@ -64,6 +66,20 @@ void CniBoard::install_handler(nic::MsgType type, Handler handler,
   // Swap the relocatable object code into a free AIH segment and program the
   // PATHFINDER to activate it on a header match.
   auto seg = aih_.install(type, code_bytes);
+  if (!seg.has_value()) {
+    // Name the numbers before dying: which handler, how much it wanted, and
+    // what the board already holds — "does not fit" alone is undebuggable.
+    const core::DualPortMemory& mem = aih_.board_memory();
+    std::fprintf(stderr,
+                 "cni: AIH install failed: handler type %u needs %llu bytes, but the "
+                 "board holds %zu segments / %llu handler bytes and has %llu of %llu "
+                 "board-memory bytes free\n",
+                 static_cast<unsigned>(type),
+                 static_cast<unsigned long long>(code_bytes), aih_.segment_count(),
+                 static_cast<unsigned long long>(aih_.resident_bytes()),
+                 static_cast<unsigned long long>(mem.free_bytes()),
+                 static_cast<unsigned long long>(mem.capacity()));
+  }
   CNI_CHECK_MSG(seg.has_value(), "AIH segment does not fit board memory");
   host_.bus().dma_read(engine_.now(), code_bytes);  // one-time swap-in transfer
   add_type_pattern(type);

@@ -24,6 +24,12 @@ class DsmContext {
   void release(std::uint32_t lock) { rt_.release(lock); }
   void barrier() { rt_.barrier(); }
 
+  // ---- Data collectives (all nodes must call; see DsmRuntime) ----
+  std::uint64_t reduce_u64(ReduceOp op, std::uint64_t value) {
+    return rt_.reduce(op, value);
+  }
+  std::uint64_t broadcast_u64(std::uint64_t value) { return rt_.broadcast(value); }
+
   // ---- Shared access ----
   template <typename T>
   [[nodiscard]] T read(mem::VAddr va) {

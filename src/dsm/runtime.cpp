@@ -90,6 +90,10 @@ void DsmRuntime::install_handlers() {
   board.install_handler(kDsmLockRel, h(&DsmRuntime::on_lock_rel), code);
   board.install_handler(kDsmBarArrive, h(&DsmRuntime::on_bar_arrive), code);
   board.install_handler(kDsmBarRelease, h(&DsmRuntime::on_bar_release), code);
+  board.install_handler(kDsmColUp, h(&DsmRuntime::on_col_up), code);
+  board.install_handler(kDsmColDown, h(&DsmRuntime::on_col_down), code);
+  board.install_handler(kDsmRedUp, h(&DsmRuntime::on_red_up), code);
+  board.install_handler(kDsmRedDown, h(&DsmRuntime::on_red_down), code);
   board.install_handler(kDsmPageReq, h(&DsmRuntime::on_page_req), code);
   board.install_handler(kDsmPageReply, h(&DsmRuntime::on_page_reply), code);
   board.install_handler(kDsmDiffReq, h(&DsmRuntime::on_diff_req), code);
@@ -630,8 +634,16 @@ void DsmRuntime::barrier() {
 
   const std::vector<const Interval*> unseen = store_.unseen_by(last_barrier_vc_);
   ByteWriter w(kMsgHeadroom);
-  w.u32(self_);
-  w.clock(vc_);
+  if (sys_.collective() == cluster::CollectiveMode::kNic) {
+    // Tree up-sweep contribution: this node's clock (the subtree-min seed)
+    // plus everything new since the last barrier. It enters the combining
+    // tree at our own board — the kDsmColUp handler at self is the leaf's
+    // combine step, and on a CNI never touches the host again until release.
+    w.clock(vc_);
+  } else {
+    w.u32(self_);
+    w.clock(vc_);
+  }
   w.u32(static_cast<std::uint32_t>(unseen.size()));
   for (const Interval* iv : unseen) iv->serialize(w);
   node_.cpu().charge_overhead(
@@ -640,13 +652,14 @@ void DsmRuntime::barrier() {
   // count); the arrive frame carries it, so manager fan-in/fan-out chains
   // under it, and the span itself measures this node's barrier wait.
   [[maybe_unused]] const sim::SimTime bar_start = node_.engine().now();
+  const auto episode = static_cast<std::uint32_t>(node_.cpu().stats().barriers);
   const std::uint64_t bar_tok =
-      tracing() ? obs::causal_token(
-                      self_,
-                      static_cast<std::uint32_t>(node_.cpu().stats().barriers),
-                      obs::Stage::kBarrier)
-                : 0;
-  send_request(sys_.barrier_manager(), kDsmBarArrive, 0, w.take(), bar_tok);
+      tracing() ? obs::causal_token(self_, episode, obs::Stage::kBarrier) : 0;
+  if (sys_.collective() == cluster::CollectiveMode::kNic) {
+    send_request(self_, kDsmColUp, episode, w.take(), bar_tok);
+  } else {
+    send_request(sys_.barrier_manager(), kDsmBarArrive, 0, w.take(), bar_tok);
+  }
 
   wq_.wait(*thread_, [this] { return barrier_released_; });
   node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
@@ -665,7 +678,13 @@ void DsmRuntime::on_bar_arrive(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              count * sys_.params().handler_per_interval_cycles);
 
-  BarrierManager& M = barrier_mgr_;
+  if (!barrier_mgr_) {
+    // cni-lint: allow(hot-path-alloc): the centralized manager state is
+    // allocated once, on the manager node's first arrive — the other N-1
+    // runtimes never carry it, and no later message allocates again.
+    barrier_mgr_ = std::make_unique<BarrierManager>();
+  }
+  BarrierManager& M = *barrier_mgr_;
   if (M.node_vcs.empty()) M.node_vcs.assign(nprocs_, VectorClock(nprocs_));
   // The manager's interval pool is separate from the node's own protocol
   // store: inserting here must not suppress the invalidation processing the
@@ -706,14 +725,284 @@ void DsmRuntime::on_bar_release(Ctx& ctx, const atm::Frame& f) {
   ctx.charge(sys_.params().handler_base_cycles +
              count * sys_.params().handler_per_interval_cycles +
              notices * sys_.params().handler_per_notice_cycles);
+  schedule_barrier_release(ctx.cursor(), std::move(ivs), std::move(global));
+}
+
+void DsmRuntime::schedule_barrier_release(sim::SimTime at, std::vector<Interval> ivs,
+                                          VectorClock global) {
   node_.engine().schedule_at(
-      ctx.cursor(), [this, ivs = std::move(ivs), global = std::move(global)] {
+      at, [this, ivs = std::move(ivs), global = std::move(global)] {
         for (const Interval& iv : ivs) process_incoming_interval(iv);
         vc_.merge(global);
         last_barrier_vc_ = global;
         barrier_released_ = true;
         wq_.notify_all();
       });
+}
+
+// ---------------------------------------------------------------------------
+// NIC-tree collectives (DESIGN.md §16)
+//
+// Barrier up-sweep: every node's board sends (clock, new intervals) into the
+// combining tree; each tree node's kDsmColUp handler folds arrivals (its own
+// plus one per child) and forwards one combined frame to its parent. The
+// root turns the fold into the global clock and fans the release back down,
+// each hop forwarding only what the receiving subtree has not seen (filtered
+// by the element-wise-min clock its up-sweep reported). On a CNI all of this
+// runs on the 33 MHz network processor; the host sleeps until its own
+// release is scheduled. On the standard NIC the same handlers run host-side
+// after an interrupt — the A/B the fig_barrier_scaling bench measures.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Element-wise minimum: the subtree floor the down-sweep filters against.
+void clock_min_in_place(VectorClock& acc, const VectorClock& v) {
+  CNI_CHECK(acc.size() == v.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (v[i] < acc[i]) acc.set(i, v[i]);
+  }
+}
+
+}  // namespace
+
+void DsmRuntime::sort_unique_intervals(std::vector<Interval>& ivs) {
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    return a.writer != b.writer ? a.writer < b.writer : a.index < b.index;
+  });
+  ivs.erase(std::unique(ivs.begin(), ivs.end(),
+                        [](const Interval& a, const Interval& b) {
+                          return a.writer == b.writer && a.index == b.index;
+                        }),
+            ivs.end());
+}
+
+void DsmRuntime::on_col_up(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  VectorClock sub = r.clock();
+  const std::uint32_t count = r.u32();
+  std::vector<Interval> ivs;
+  ivs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ivs.push_back(Interval::deserialize(r));
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles);
+  CNI_CHECK_MSG(hdr.aux == col_.epoch + 1, "collective barrier epoch mismatch");
+
+  const atm::CollectiveTree& tree = sys_.collective_tree();
+  if (col_.min.size() == 0) {
+    col_.min = sub;
+  } else {
+    clock_min_in_place(col_.min, sub);
+  }
+  if (hdr.src_node != self_) col_.child_min.emplace_back(hdr.src_node, std::move(sub));
+  for (Interval& iv : ivs) col_.ivs.push_back(std::move(iv));
+  ++col_.arrived;
+  if (col_.arrived < 1 + tree.children[self_].size()) return;
+
+  // All contributions in: canonicalize the fold. Sorting makes the merged
+  // set independent of the (deterministic but schedule-shaped) arrival
+  // order, so serialized bytes are identical across K and fusion settings.
+  sort_unique_intervals(col_.ivs);
+  std::sort(col_.child_min.begin(), col_.child_min.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (f.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kColCombine,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kColCombine),
+                     ctx.trace());
+  }
+
+  if (tree.parent[self_] != self_) {
+    // Interior/leaf: one combined frame continues up; the subtree state
+    // stays parked until the matching down-sweep arrives.
+    ByteWriter w(kMsgHeadroom);
+    w.clock(col_.min);
+    w.u32(static_cast<std::uint32_t>(col_.ivs.size()));
+    for (const Interval& iv : col_.ivs) iv.serialize(w);
+    ctx.charge(sys_.params().handler_base_cycles / 2 +
+               col_.ivs.size() * sys_.params().handler_per_interval_cycles);
+    ctx.send(make_frame(tree.parent[self_], kDsmColUp, 0, col_.epoch + 1, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+    return;
+  }
+
+  // Root: the fold holds every interval of the episode, so the global clock
+  // is the last barrier floor advanced by each writer's newest index —
+  // exactly the element-wise max of all node clocks the centralized manager
+  // computes.
+  VectorClock global = last_barrier_vc_;
+  for (const Interval& iv : col_.ivs) {
+    if (global[iv.writer] < iv.index) global.set(iv.writer, iv.index);
+  }
+  col_down_fanout(ctx, global);
+  schedule_barrier_release(ctx.cursor(), std::move(col_.ivs), std::move(global));
+  col_.arrived = 0;
+  col_.min = VectorClock();
+  col_.child_min.clear();
+  col_.ivs.clear();
+  ++col_.epoch;
+}
+
+void DsmRuntime::col_down_fanout(Ctx& ctx, const VectorClock& global) {
+  // Per child: forward only what that subtree lacks. The child's reported
+  // min clock under-approximates each member's knowledge, so the filter
+  // over-ships at worst; process_incoming_interval drops duplicates, and
+  // density per writer is preserved (the filtered set is dense above the
+  // child floor, every member's store is dense up to at least that floor).
+  for (const auto& [child, cmin] : col_.child_min) {
+    std::vector<const Interval*> out;
+    out.reserve(col_.ivs.size());
+    for (const Interval& iv : col_.ivs) {
+      if (iv.index > cmin[iv.writer]) out.push_back(&iv);
+    }
+    ByteWriter w(kMsgHeadroom);
+    w.clock(global);
+    w.u32(static_cast<std::uint32_t>(out.size()));
+    for (const Interval* iv : out) iv->serialize(w);
+    ctx.charge(sys_.params().handler_base_cycles / 2 +
+               out.size() * sys_.params().handler_per_interval_cycles);
+    ctx.send(make_frame(child, kDsmColDown, 0, col_.epoch + 1, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+  }
+}
+
+void DsmRuntime::on_col_down(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  VectorClock global = r.clock();
+  const std::uint32_t count = r.u32();
+  std::vector<Interval> ivs;
+  ivs.reserve(count);
+  std::size_t notices = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ivs.push_back(Interval::deserialize(r));
+    notices += ivs.back().pages.size();
+  }
+  ctx.charge(sys_.params().handler_base_cycles +
+             count * sys_.params().handler_per_interval_cycles +
+             notices * sys_.params().handler_per_notice_cycles);
+  CNI_CHECK_MSG(hdr.aux == col_.epoch + 1, "collective barrier epoch mismatch");
+  if (f.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kColDown,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kColDown),
+                     ctx.trace());
+  }
+
+  // The full episode set visible here = our parked subtree fold plus what
+  // the parent forwarded for us; dedup (a parent over-ship may repeat ours)
+  // and continue the fan-out, then release ourselves.
+  for (Interval& iv : ivs) col_.ivs.push_back(std::move(iv));
+  sort_unique_intervals(col_.ivs);
+  col_down_fanout(ctx, global);
+  schedule_barrier_release(ctx.cursor(), std::move(col_.ivs), std::move(global));
+  col_.arrived = 0;
+  col_.min = VectorClock();
+  col_.child_min.clear();
+  col_.ivs.clear();
+  ++col_.epoch;
+}
+
+std::uint64_t DsmRuntime::reduce(ReduceOp op, std::uint64_t value) {
+  CNI_CHECK_MSG(thread_ != nullptr, "DSM app call before bind_thread");
+  node_.cpu().sync(*thread_);
+  red_released_ = false;
+  const std::uint32_t episode = ++red_calls_;
+  [[maybe_unused]] const sim::SimTime start = node_.engine().now();
+  const std::uint64_t tok =
+      tracing() ? obs::causal_token(self_, episode, obs::Stage::kBarrier) : 0;
+  ByteWriter w(kMsgHeadroom);
+  w.u32(static_cast<std::uint32_t>(op));
+  w.u64(value);
+  send_request(self_, kDsmRedUp, episode, w.take(), tok);
+  wq_.wait(*thread_, [this] { return red_released_; });
+  node_.cpu().charge_overhead(*thread_, node_.board().wakeup_cost_cycles());
+  if (tok != 0) {
+    CNI_TRACE_CAUSAL(obs_, start, node_.engine().now(), obs::Stage::kBarrier, tok, 0);
+  }
+  return red_result_;
+}
+
+std::uint64_t DsmRuntime::broadcast(std::uint64_t value) {
+  return reduce(ReduceOp::kRoot, value);
+}
+
+void DsmRuntime::on_red_up(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const auto op = static_cast<ReduceOp>(r.u32());
+  const std::uint64_t v = r.u64();
+  ctx.charge(sys_.params().handler_base_cycles);
+  CNI_CHECK_MSG(hdr.aux == red_.epoch + 1, "collective reduce epoch mismatch");
+
+  // Fold. kRoot keeps this node's own contribution, so at the tree root the
+  // surviving value is the root's — the broadcast source; the other ops are
+  // commutative and associative, so arrival order cannot change the fold.
+  if (op == ReduceOp::kRoot) {
+    if (hdr.src_node == self_) red_.value = v;
+    red_.have = red_.have || hdr.src_node == self_;
+  } else if (!red_.have) {
+    red_.value = v;
+    red_.have = true;
+  } else if (op == ReduceOp::kSum) {
+    red_.value += v;
+  } else if (op == ReduceOp::kMin) {
+    red_.value = std::min(red_.value, v);
+  } else {
+    red_.value = std::max(red_.value, v);
+  }
+  ++red_.arrived;
+  const atm::CollectiveTree& tree = sys_.collective_tree();
+  if (red_.arrived < 1 + tree.children[self_].size()) return;
+
+  if (f.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kColCombine,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kColCombine),
+                     ctx.trace());
+  }
+  if (tree.parent[self_] != self_) {
+    ByteWriter w(kMsgHeadroom);
+    w.u32(static_cast<std::uint32_t>(op));
+    w.u64(red_.value);
+    ctx.charge(sys_.params().handler_base_cycles / 2);
+    ctx.send(make_frame(tree.parent[self_], kDsmRedUp, 0, red_.epoch + 1, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+    return;
+  }
+  red_down_deliver(ctx, red_.value);
+}
+
+void DsmRuntime::on_red_down(Ctx& ctx, const atm::Frame& f) {
+  const nic::MsgHeader hdr = f.header<nic::MsgHeader>();
+  ByteReader r = body_reader(f);
+  const std::uint64_t v = r.u64();
+  ctx.charge(sys_.params().handler_base_cycles);
+  CNI_CHECK_MSG(hdr.aux == red_.epoch + 1, "collective reduce epoch mismatch");
+  if (f.trace != 0) {
+    CNI_TRACE_CAUSAL(obs_, ctx.cursor(), ctx.cursor(), obs::Stage::kColDown,
+                     obs::causal_token(hdr.src_node, hdr.seq, obs::Stage::kColDown),
+                     ctx.trace());
+  }
+  red_down_deliver(ctx, v);
+}
+
+void DsmRuntime::red_down_deliver(Ctx& ctx, std::uint64_t value) {
+  const atm::CollectiveTree& tree = sys_.collective_tree();
+  for (const std::uint32_t child : tree.children[self_]) {
+    ByteWriter w(kMsgHeadroom);
+    w.u64(value);
+    ctx.charge(sys_.params().handler_base_cycles / 2);
+    ctx.send(make_frame(child, kDsmRedDown, 0, red_.epoch + 1, 0, w.take()),
+             nic::NicBoard::SendOptions{});
+  }
+  node_.engine().schedule_at(ctx.cursor(), [this, value] {
+    red_result_ = value;
+    red_released_ = true;
+    wq_.notify_all();
+  });
+  red_.arrived = 0;
+  red_.have = false;
+  red_.value = 0;
+  ++red_.epoch;
 }
 
 // ---------------------------------------------------------------------------

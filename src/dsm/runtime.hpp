@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <span>
 #include <vector>
@@ -56,6 +57,14 @@ class DsmRuntime {
   void release(std::uint32_t lock);
   void barrier();
 
+  /// All-reduce of one u64 over the system's collective tree: every node
+  /// contributes `value` and receives the fold. Not a memory-consistency
+  /// point (no interval redistribution) — a pure data collective.
+  std::uint64_t reduce(ReduceOp op, std::uint64_t value);
+  /// Broadcast from the tree root (node 0): every node receives the root's
+  /// `value`; other nodes' contributions are ignored.
+  std::uint64_t broadcast(std::uint64_t value);
+
   /// Fast-path shared access: validates protection (faulting and fetching as
   /// needed), charges the cache-model timing, and returns a pointer to the
   /// bytes. [va, va+len) must lie within one page.
@@ -82,6 +91,10 @@ class DsmRuntime {
   [[nodiscard]] std::size_t pending_notices(PageId p) const;
   [[nodiscard]] const IntervalStore& interval_store() const { return store_; }
   [[nodiscard]] cluster::Node& node() { return node_; }
+  /// Whether the centralized barrier-manager state exists on this node: it
+  /// is allocated lazily, at the manager's first kDsmBarArrive, so every
+  /// other node (and every node in kNic mode) answers false.
+  [[nodiscard]] bool barrier_manager_allocated() const { return barrier_mgr_ != nullptr; }
 
  private:
   using Ctx = nic::NicBoard::RxContext;
@@ -97,6 +110,10 @@ class DsmRuntime {
   void on_lock_rel(Ctx& ctx, const atm::Frame& f);
   void on_bar_arrive(Ctx& ctx, const atm::Frame& f);
   void on_bar_release(Ctx& ctx, const atm::Frame& f);
+  void on_col_up(Ctx& ctx, const atm::Frame& f);
+  void on_col_down(Ctx& ctx, const atm::Frame& f);
+  void on_red_up(Ctx& ctx, const atm::Frame& f);
+  void on_red_down(Ctx& ctx, const atm::Frame& f);
   void on_page_req(Ctx& ctx, const atm::Frame& f);
   void on_page_reply(Ctx& ctx, const atm::Frame& f);
   void on_diff_req(Ctx& ctx, const atm::Frame& f);
@@ -128,6 +145,28 @@ class DsmRuntime {
   util::Buf build_interval_payload(const VectorClock& rvc,
                                    std::size_t* interval_count) const;
 
+  /// Canonical combined order for tree collectives: sorts by (writer, index)
+  /// and drops duplicates, so the merged set is independent of the arrival
+  /// interleaving (byte-identity across shard counts) and per-writer
+  /// ascending (the dense-insert order IntervalStore requires).
+  static void sort_unique_intervals(std::vector<Interval>& ivs);
+
+  /// Schedules this node's barrier release at `at`: processes `ivs` in
+  /// order, merges `global` into the clock, records the new barrier floor
+  /// and wakes the app thread. Shared by the centralized release handler
+  /// and both ends of the tree down-sweep.
+  void schedule_barrier_release(sim::SimTime at, std::vector<Interval> ivs,
+                                VectorClock global);
+
+  /// Down-sweep fan-out of the parked barrier fold: per child, the episode
+  /// intervals that child's subtree floor does not cover, plus the global
+  /// clock.
+  void col_down_fanout(Ctx& ctx, const VectorClock& global);
+
+  /// Delivers a finished reduce: forwards the result to the tree children,
+  /// schedules this node's own wake-up, and resets the combine slot.
+  void red_down_deliver(Ctx& ctx, std::uint64_t value);
+
   /// Patches the message header into `payload`'s kMsgHeadroom front bytes
   /// and wraps it as a frame — the pooled buffer IS the frame payload.
   atm::Frame make_frame(std::uint32_t dst, nic::MsgType type, std::uint16_t flags,
@@ -156,12 +195,32 @@ class DsmRuntime {
     std::deque<std::pair<std::uint32_t, VectorClock>> waiters;
   };
 
-  // -- barrier manager (only used on node 0) --
+  // -- centralized barrier manager (kHost mode; lazily allocated on the
+  //    manager node at its first arrive, so the other N-1 runtimes never
+  //    carry the state) --
   struct BarrierManager {
     std::uint32_t arrived = 0;
     std::uint32_t epoch = 0;
     std::vector<VectorClock> node_vcs;
     IntervalStore store;  ///< separate from the node's own store (see .cpp)
+  };
+
+  // -- NIC-tree collective state (DESIGN.md §16): one barrier episode and
+  //    one reduce episode can be in flight; the tree's release discipline
+  //    (children only start epoch E+1 after receiving E's down-sweep) makes
+  //    a single combine slot per kind sufficient --
+  struct ColCombine {
+    std::uint32_t arrived = 0;  ///< contributions in: self + each child
+    std::uint32_t epoch = 0;    ///< completed barrier episodes (aux check)
+    VectorClock min;            ///< element-wise min of subtree clocks
+    std::vector<std::pair<std::uint32_t, VectorClock>> child_min;  ///< per-child floors
+    std::vector<Interval> ivs;  ///< combined epoch intervals (sorted, deduped)
+  };
+  struct RedCombine {
+    std::uint32_t arrived = 0;
+    std::uint32_t epoch = 0;  ///< completed reduce episodes (aux check)
+    bool have = false;
+    std::uint64_t value = 0;
   };
 
   // -- one outstanding data fetch (the app thread blocks on it) --
@@ -196,11 +255,16 @@ class DsmRuntime {
   std::uint32_t next_req_id_ = 1;
 
   std::map<std::uint32_t, LockHome> lock_homes_;
-  BarrierManager barrier_mgr_;
+  std::unique_ptr<BarrierManager> barrier_mgr_;
+  ColCombine col_;
+  RedCombine red_;
 
   Fetch fetch_;
   bool lock_granted_ = false;
   bool barrier_released_ = false;
+  bool red_released_ = false;
+  std::uint64_t red_result_ = 0;
+  std::uint32_t red_calls_ = 0;  ///< app-side reduce episodes started
   sim::WaitQueue wq_;
 
   // Observability handles (resolved once in the constructor; may be null).

@@ -5,8 +5,42 @@
 
 namespace cni::dsm {
 
+namespace {
+
+atm::CollectiveTree build_collective_tree(cluster::Cluster& cluster,
+                                          const DsmParams& params) {
+  const auto nodes = static_cast<std::uint32_t>(cluster.size());
+  if (params.collective == cluster::CollectiveMode::kHost) {
+    // Host mode: barriers keep the seed's centralized manager protocol;
+    // reduce/broadcast run the same tree machinery over a star at node 0.
+    return atm::make_star_tree(nodes, 0);
+  }
+  // The combine step runs on the 33 MHz network processor. A tree edge adds
+  // the full store-and-forward pipeline — the child's frame tx, the parent's
+  // frame rx, the PATHFINDER dispatch and the combine handler's base work —
+  // while each extra child slot adds only the serialized downlink occupancy
+  // of one more arriving frame (the handler work overlaps the DMA-driven
+  // reception of the next child's frame). Evaluated against the topology's
+  // zero-load distances this is what differentiates the fabrics: the banyan's
+  // flat 500 ns keeps trees narrow, while the Clos cross-block and torus
+  // multi-hop distances up-weight depth and buy wider fan-in (DESIGN.md §16).
+  const sim::Clock nic(cluster.params().nic.nic_freq_hz);
+  const sim::SimDuration per_hop = nic.cycles(cluster.params().nic.per_frame_tx_cycles +
+                                              cluster.params().nic.per_frame_rx_cycles +
+                                              cluster.params().nic.aih_dispatch_cycles +
+                                              params.handler_base_cycles);
+  const sim::SimDuration per_child = nic.cycles(cluster.params().nic.per_frame_rx_cycles);
+  return atm::make_collective_tree(cluster.fabric().topology(), nodes, per_hop,
+                                   per_child, params.collective_fanin);
+}
+
+}  // namespace
+
 DsmSystem::DsmSystem(cluster::Cluster& cluster, DsmParams params)
-    : cluster_(cluster), params_(params), geo_(cluster.params().page_size) {
+    : cluster_(cluster),
+      params_(params),
+      coll_tree_(build_collective_tree(cluster, params_)),
+      geo_(cluster.params().page_size) {
   runtimes_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     // cni-lint: allow(hot-path-alloc): one DsmRuntime per node at system

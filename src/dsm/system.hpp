@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "atm/coll_tree.hpp"
 #include "cluster/cluster.hpp"
 #include "dsm/msg.hpp"
 #include "dsm/runtime.hpp"
@@ -44,6 +45,13 @@ class DsmSystem {
   [[nodiscard]] std::uint32_t home_of(PageId p) const { return homes_.at(p); }
   [[nodiscard]] std::uint32_t barrier_manager() const { return 0; }
   [[nodiscard]] std::uint32_t lock_home(std::uint32_t lock) const { return lock % nodes(); }
+  /// The combining-tree shape every collective in this system uses: a
+  /// topology-derived k-ary tree rooted at node 0 in kNic mode, a star at
+  /// the barrier manager in kHost mode. Built once in the constructor from
+  /// the fabric's zero-load distances — a pure function of (topology, N,
+  /// handler costs), so identical across shard counts.
+  [[nodiscard]] const atm::CollectiveTree& collective_tree() const { return coll_tree_; }
+  [[nodiscard]] cluster::CollectiveMode collective() const { return params_.collective; }
 
   /// Page index of a shared virtual address (must be in the shared region).
   [[nodiscard]] PageId page_of_va(mem::VAddr va) const {
@@ -59,6 +67,7 @@ class DsmSystem {
 
   cluster::Cluster& cluster_;
   DsmParams params_;
+  atm::CollectiveTree coll_tree_;
   mem::PageGeometry geo_;
   std::vector<std::unique_ptr<DsmRuntime>> runtimes_;
   std::vector<std::uint32_t> homes_;  ///< per shared page

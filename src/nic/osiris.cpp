@@ -57,7 +57,11 @@ std::uint64_t OsirisBoard::trace_fabric_arrival(sim::SimTime arrival, std::uint3
   // Lay the categories out back to back ending at the arrival instant, in a
   // fixed order (wire, contention, credit), so the records are a pure
   // function of the packed breakdown — independent of drain interleaving.
-  sim::SimTime t = arrival - (wire + contend + credit);
+  // The sum cannot exceed the arrival time (each category is a slice of the
+  // route's actual delay), but clamp anyway: a wrapped start would poison
+  // every downstream critical-path attribution.
+  const sim::SimDuration span = wire + contend + credit;
+  sim::SimTime t = arrival >= span ? arrival - span : 0;
   std::uint64_t prev = obs::causal_token(origin, seq, obs::Stage::kTx);
   const std::uint64_t wire_tok = obs::causal_token(origin, seq, obs::Stage::kFabWire);
   obs_->causal(t, t + wire, obs::Stage::kFabWire, wire_tok, prev);

@@ -38,6 +38,8 @@ enum class Stage : std::uint8_t {
   kHandler = 8,
   kDeliver = 9,
   kBarrier = 10,
+  kColCombine = 11,  ///< NIC tree collective: child arrivals combined, forwarded up
+  kColDown = 12,     ///< NIC tree collective: release forwarded down to children
 };
 
 inline constexpr std::uint64_t kCausalTracedBit = 1ull << 63;
@@ -78,6 +80,8 @@ inline constexpr std::uint64_t kCausalTracedBit = 1ull << 63;
     case Stage::kHandler: return Event::kCausalHandler;
     case Stage::kDeliver: return Event::kCausalDeliver;
     case Stage::kBarrier: return Event::kCausalBarrier;
+    case Stage::kColCombine: return Event::kCausalColCombine;
+    case Stage::kColDown: return Event::kCausalColDown;
   }
   return Event::kCausalTx;
 }
@@ -95,7 +99,9 @@ inline constexpr std::uint64_t kCausalTracedBit = 1ull << 63;
     case Stage::kFabCredit: return Component::kFabric;
     case Stage::kMCache: return Component::kMCache;
     case Stage::kRx:
-    case Stage::kHandler: return Component::kNic;
+    case Stage::kHandler:
+    case Stage::kColCombine:
+    case Stage::kColDown: return Component::kNic;
   }
   return Component::kNic;
 }

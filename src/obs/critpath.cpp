@@ -47,6 +47,8 @@ const char* stage_name(Stage s) {
     case Stage::kHandler: return "handler";
     case Stage::kDeliver: return "deliver";
     case Stage::kBarrier: return "barrier";
+    case Stage::kColCombine: return "coll_combine";
+    case Stage::kColDown: return "coll_down";
   }
   return "unknown";
 }

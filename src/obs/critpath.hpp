@@ -30,7 +30,9 @@
 namespace cni::obs {
 
 /// Stage count for bucket arrays (Stage ids are 1-based and dense).
-inline constexpr std::size_t kStageCount = 11;
+inline constexpr std::size_t kStageCount = 13;
+static_assert(static_cast<std::size_t>(Stage::kColDown) == kStageCount - 1,
+              "bucket arrays must cover every Stage id");
 
 /// Stable lowercase stage name ("tx", "fab_wire", ...) used in every export.
 [[nodiscard]] const char* stage_name(Stage s);

@@ -49,6 +49,8 @@ const char* event_name(Event e) {
     case Event::kCausalHandler: return "causal.handler";
     case Event::kCausalDeliver: return "causal.deliver";
     case Event::kCausalBarrier: return "causal.barrier";
+    case Event::kCausalColCombine: return "causal.coll_combine";
+    case Event::kCausalColDown: return "causal.coll_down";
   }
   return "unknown";
 }

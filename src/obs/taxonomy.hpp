@@ -66,8 +66,10 @@ enum class Event : std::uint8_t {
   kCausalHandler = 27,   ///< span: AIH / host handler service
   kCausalDeliver = 28,   ///< span: reply serviced -> waiting thread resumed
   kCausalBarrier = 29,   ///< span: barrier arrive -> release
+  kCausalColCombine = 30,  ///< span: NIC collective combine -> forward up-tree
+  kCausalColDown = 31,     ///< span: NIC collective release fan-out down-tree
 };
-inline constexpr std::uint32_t kEventCount = 30;
+inline constexpr std::uint32_t kEventCount = 32;
 
 /// What a record means in Chrome trace_event terms.
 enum class Kind : std::uint8_t {

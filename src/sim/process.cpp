@@ -41,8 +41,12 @@ thread_local SimThread* t_current = nullptr;
 
 SimThread* SimThread::current() { return t_current; }
 
-SimThread::SimThread(Engine& engine, std::string name, Body body, SimTime start)
-    : engine_(engine), name_(std::move(name)), body_(std::move(body)), stack_(kStackBytes) {
+SimThread::SimThread(Engine& engine, std::string name, Body body, SimTime start,
+                     std::size_t stack_bytes)
+    : engine_(engine),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(stack_bytes != 0 ? stack_bytes : kStackBytes) {
   CNI_CHECK(getcontext(&fiber_) == 0);
   fiber_.uc_stack.ss_sp = stack_.data();
   fiber_.uc_stack.ss_size = stack_.size();

@@ -40,7 +40,11 @@ class SimThread {
   static constexpr std::size_t kStackBytes = 512 * 1024;
 
   /// Creates the thread and schedules its first run at `start`.
-  SimThread(Engine& engine, std::string name, Body body, SimTime start = 0);
+  /// `stack_bytes` sizes the fiber stack (0 = kStackBytes) — a host-memory
+  /// knob for wide runs (4096 barrier-only nodes at the default half-MB
+  /// would need 2 GB of stacks); simulated results never depend on it.
+  SimThread(Engine& engine, std::string name, Body body, SimTime start = 0,
+            std::size_t stack_bytes = 0);
 
   /// A finished fiber is simply freed. An unfinished one (abandoned
   /// simulation, e.g. a failing test) is also freed — its stack objects are

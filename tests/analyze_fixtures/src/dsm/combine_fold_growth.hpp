@@ -1,0 +1,37 @@
+// Fixture: hot-path-growth in a collective combine fold. A NIC combine
+// handler that appends every child interval to a local vector without
+// reserving first reallocates once per fold on the per-frame hot path and
+// must be flagged; the sibling that reserves the child count up front is
+// clean (dsm/runtime.cpp's fold reserves before merging).
+// analyze-expect: hot-path-growth
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Interval {
+  std::uint32_t writer = 0;
+  std::uint32_t index = 0;
+};
+
+inline std::vector<Interval> bad_fold(const std::vector<Interval>& child) {
+  std::vector<Interval> merged;
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    merged.push_back(child[i]);
+  }
+  return merged;
+}
+
+inline std::vector<Interval> good_fold(const std::vector<Interval>& child) {
+  std::vector<Interval> merged;
+  merged.reserve(child.size());
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    merged.push_back(child[i]);
+  }
+  return merged;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: a NIC collective combine handler that keys per-child arrival
+// slots with std::unordered_map runs a rehash-prone node container on the
+// per-frame hot path — hot-path-alloc must fire. The real combine state
+// (dsm/runtime.cpp) indexes children by position in the flat tree arrays.
+// lint-expect: hot-path-alloc
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct BadCombineState {
+  // One pending contribution per child of this tree node.
+  std::unordered_map<std::uint32_t, std::uint64_t> pending;
+
+  void on_child_arrival(std::uint32_t child, std::uint64_t clock) {
+    pending[child] = clock;
+  }
+};
+
+}  // namespace fixture

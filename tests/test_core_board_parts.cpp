@@ -141,6 +141,36 @@ TEST(AihRegion, ManyHandlersSurviveChurn) {
   EXPECT_EQ(aih.resident_bytes(), kHandlers * kBytes);
 }
 
+TEST(AihRegion, ExhaustionLeavesAccountingUntouched) {
+  // A refused install must not leak a segment or skew the residency numbers
+  // the board's diagnostic prints — the caller may evict and retry.
+  DualPortMemory mem(32 * 1024);
+  AihRegion aih(mem);
+  ASSERT_TRUE(aih.install(1, 24 * 1024).has_value());
+  EXPECT_FALSE(aih.install(2, 16 * 1024).has_value());
+  EXPECT_FALSE(aih.resident(2));
+  EXPECT_EQ(aih.segment_count(), 1u);
+  EXPECT_EQ(aih.resident_bytes(), 24u * 1024);
+  EXPECT_EQ(aih.board_memory().free_bytes(), 8u * 1024);
+  EXPECT_EQ(aih.board_memory().capacity(), 32u * 1024);
+}
+
+TEST(AihRegion, RemoveFreesSpaceForReinstall) {
+  // Swap-out then swap-in reuses the freed board memory, exactly filling a
+  // region that could not hold both handler generations at once.
+  DualPortMemory mem(32 * 1024);
+  AihRegion aih(mem);
+  ASSERT_TRUE(aih.install(1, 24 * 1024).has_value());
+  EXPECT_FALSE(aih.install(2, 16 * 1024).has_value());
+  aih.remove(1);
+  EXPECT_EQ(aih.resident_bytes(), 0u);
+  ASSERT_TRUE(aih.install(2, 16 * 1024).has_value());
+  ASSERT_TRUE(aih.install(3, 16 * 1024).has_value());
+  EXPECT_EQ(aih.segment_count(), 2u);
+  EXPECT_EQ(aih.resident_bytes(), 32u * 1024);
+  EXPECT_EQ(aih.board_memory().free_bytes(), 0u);
+}
+
 TEST(PollGovernor, FirstArrivalInterrupts) {
   PollGovernor g(1 * sim::kMillisecond);
   EXPECT_TRUE(g.on_arrival(0));
